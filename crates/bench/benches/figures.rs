@@ -1,0 +1,77 @@
+//! Figure-regeneration benches: one per paper figure. Figure 2 is the
+//! closed-form analytic model; Figures 4-6 time the coverage/energy
+//! pipelines over a reduced-scale suite run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jetty_bench::bench_suite;
+use jetty_energy::{figure2_panel, TechParams};
+use jetty_experiments::figures::{self, Fig6Panel};
+
+fn fig2_bench(c: &mut Criterion) {
+    let tech = TechParams::default();
+    c.bench_function("fig2_analytic_model", |b| {
+        b.iter(|| {
+            let p32 = figure2_panel(4, 32, 20, &tech);
+            let p64 = figure2_panel(4, 64, 20, &tech);
+            p32.curves.len() + p64.curves.len()
+        })
+    });
+}
+
+fn coverage_figures_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coverage_figures");
+    group.sample_size(10);
+    // One shared suite run with the full bank: the benches isolate the
+    // per-figure aggregation + rendering, mirroring jetty-repro.
+    let runs = bench_suite();
+    group.bench_function("fig4a_exclude", |b| {
+        b.iter(|| figures::fig4a(&runs).render().len())
+    });
+    group.bench_function("fig4b_vector_exclude", |b| {
+        b.iter(|| figures::fig4b(&runs).render().len())
+    });
+    group.bench_function("fig5a_include", |b| {
+        b.iter(|| figures::fig5a(&runs).render().len())
+    });
+    group.bench_function("fig5b_hybrid", |b| {
+        b.iter(|| figures::fig5b(&runs).render().len())
+    });
+    group.finish();
+}
+
+fn fig6_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_energy");
+    group.sample_size(10);
+    let runs = bench_suite();
+    for (name, panel) in [
+        ("a_snoop_serial", Fig6Panel::SnoopSerial),
+        ("b_all_serial", Fig6Panel::AllSerial),
+        ("c_snoop_parallel", Fig6Panel::SnoopParallel),
+        ("d_all_parallel", Fig6Panel::AllParallel),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| figures::fig6(&runs, panel).render().len())
+        });
+    }
+    group.finish();
+}
+
+fn suite_end_to_end_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("suite_end_to_end");
+    group.sample_size(10);
+    // The full reproduction pipeline: ten apps, full filter bank,
+    // every coverage figure and energy panel.
+    group.bench_function("full_bank_all_figures", |b| {
+        b.iter(|| {
+            let runs = bench_suite();
+            figures::fig4a(&runs).render().len()
+                + figures::fig5a(&runs).render().len()
+                + figures::fig5b(&runs).render().len()
+                + figures::fig6(&runs, Fig6Panel::AllSerial).render().len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig2_bench, coverage_figures_bench, fig6_bench, suite_end_to_end_bench);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Filter microbenchmarks: probe latency/throughput and update cost for
+//! every JETTY variant. The paper argues a JETTY probe is register-file
+//! fast (§2.2); these benches quantify the simulator-side cost and the
+//! relative weight of each structure.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use jetty_core::{AddrSpace, FilterSpec, MissScope, SnoopFilter, UnitAddr};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Pre-generated snoop address stream with mixed locality.
+fn snoop_stream(n: usize) -> Vec<UnitAddr> {
+    let mut rng = SmallRng::seed_from_u64(42);
+    (0..n)
+        .map(|i| {
+            if i % 4 == 0 {
+                UnitAddr::new(rng.gen_range(0..1u64 << 20))
+            } else {
+                UnitAddr::new(rng.gen_range(0..4096u64))
+            }
+        })
+        .collect()
+}
+
+/// A filter warmed with allocations and learned misses.
+fn warmed(spec: FilterSpec) -> Box<dyn SnoopFilter> {
+    let mut filter = spec.build(AddrSpace::default());
+    let mut rng = SmallRng::seed_from_u64(7);
+    for _ in 0..2048 {
+        filter.on_allocate(UnitAddr::new(rng.gen_range(0..1u64 << 20)));
+    }
+    for _ in 0..2048 {
+        let addr = UnitAddr::new(rng.gen_range(0..4096u64));
+        if !filter.probe(addr).is_filtered() {
+            filter.record_snoop_miss(addr, MissScope::Block);
+        }
+    }
+    filter
+}
+
+fn probe_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("filter_probe");
+    group.sample_size(20);
+    let stream = snoop_stream(4096);
+    for spec in [
+        FilterSpec::exclude(32, 4),
+        FilterSpec::vector_exclude(32, 4, 8),
+        FilterSpec::include(10, 4, 7),
+        FilterSpec::hybrid_scalar(10, 4, 7, 32, 4),
+        FilterSpec::Null,
+    ] {
+        group.bench_function(spec.label(), |b| {
+            b.iter_batched_ref(
+                || warmed(spec),
+                |filter| {
+                    let mut filtered = 0u64;
+                    for &addr in &stream {
+                        if filter.probe(addr).is_filtered() {
+                            filtered += 1;
+                        }
+                    }
+                    filtered
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn update_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("filter_update");
+    group.sample_size(20);
+    let mut rng = SmallRng::seed_from_u64(9);
+    let addrs: Vec<UnitAddr> =
+        (0..4096).map(|_| UnitAddr::new(rng.gen_range(0..1u64 << 20))).collect();
+    for spec in
+        [FilterSpec::include(10, 4, 7), FilterSpec::include(6, 5, 6), FilterSpec::exclude(32, 4)]
+    {
+        group.bench_function(format!("alloc_dealloc/{}", spec.label()), |b| {
+            b.iter_batched_ref(
+                || spec.build(AddrSpace::default()),
+                |filter| {
+                    for &a in &addrs {
+                        filter.on_allocate(a);
+                    }
+                    for &a in &addrs {
+                        filter.on_deallocate(a);
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, probe_benches, update_benches);
+criterion_main!(benches);

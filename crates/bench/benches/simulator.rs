@@ -1,0 +1,76 @@
+//! Substrate microbenchmarks: raw simulation throughput with and without
+//! filter banks, and the cost of full runtime checking.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use jetty_core::FilterSpec;
+use jetty_sim::{MemRef, System, SystemConfig};
+use jetty_workloads::{apps, TraceGen};
+
+fn trace(scale: f64) -> Vec<MemRef> {
+    TraceGen::new(&apps::lu(), 4, scale).collect()
+}
+
+fn throughput_benches(c: &mut Criterion) {
+    let refs = trace(0.02);
+    let mut group = c.benchmark_group("simulator_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(refs.len() as u64));
+
+    group.bench_function("no_filters_unchecked", |b| {
+        b.iter_batched_ref(
+            || System::new(SystemConfig::paper_4way().without_checks(), &[]),
+            |sys| sys.run(refs.iter().copied()),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("best_hybrid_unchecked", |b| {
+        b.iter_batched_ref(
+            || {
+                System::new(
+                    SystemConfig::paper_4way().without_checks(),
+                    &[FilterSpec::hybrid_scalar(10, 4, 7, 32, 4)],
+                )
+            },
+            |sys| sys.run(refs.iter().copied()),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("full_bank_unchecked", |b| {
+        b.iter_batched_ref(
+            || {
+                System::new(
+                    SystemConfig::paper_4way().without_checks(),
+                    &FilterSpec::paper_bank(),
+                )
+            },
+            |sys| sys.run(refs.iter().copied()),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("no_filters_checked", |b| {
+        b.iter_batched_ref(
+            || System::new(SystemConfig::paper_4way(), &[]),
+            |sys| sys.run(refs.iter().copied()),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+fn trace_generation_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generation");
+    group.sample_size(10);
+    let n = TraceGen::new(&apps::barnes(), 4, 0.02).len();
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("barnes", |b| {
+        b.iter(|| TraceGen::new(&apps::barnes(), 4, 0.02).count())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, throughput_benches, trace_generation_bench);
+criterion_main!(benches);

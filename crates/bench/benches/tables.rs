@@ -1,0 +1,48 @@
+//! Table-regeneration benches: one per paper table. Each bench times the
+//! full pipeline that produces the table (workload generation, simulation,
+//! statistics, rendering) at a reduced trace scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jetty_bench::bench_suite_with;
+use jetty_core::FilterSpec;
+use jetty_experiments::tables;
+
+fn table1_bench(c: &mut Criterion) {
+    // Static data + derived columns; effectively free, but regenerated
+    // through the same path as `jetty-repro table1`.
+    c.bench_function("table1_xeon_power", |b| {
+        b.iter(|| tables::table1().render().len())
+    });
+}
+
+fn table2_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_applications");
+    group.sample_size(10);
+    group.bench_function("suite_and_render", |b| {
+        b.iter(|| {
+            let runs = bench_suite_with(vec![FilterSpec::exclude(8, 2)]);
+            tables::table2(&runs).render().len()
+        })
+    });
+    group.finish();
+}
+
+fn table3_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_snoop_distribution");
+    group.sample_size(10);
+    // Reuse one suite run; the bench isolates the statistics + rendering.
+    let runs = bench_suite_with(vec![FilterSpec::exclude(8, 2)]);
+    group.bench_function("stats_and_render", |b| {
+        b.iter(|| tables::table3(&runs).render().len())
+    });
+    group.finish();
+}
+
+fn table4_bench(c: &mut Criterion) {
+    c.bench_function("table4_ij_storage", |b| {
+        b.iter(|| tables::table4().render().len())
+    });
+}
+
+criterion_group!(benches, table1_bench, table2_bench, table3_bench, table4_bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! # jetty-bench — benchmark support
+//!
+//! The Criterion benchmarks live in `benches/`; this library provides the
+//! shared reduced-scale run helper so every table/figure bench regenerates
+//! its artifact from the same code path the `jetty-repro` binary uses,
+//! just over shorter traces.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use jetty_core::FilterSpec;
+use jetty_experiments::{run_suite, AppRun, RunOptions};
+
+/// Trace scale used by the table/figure regeneration benches: large enough
+/// to exercise steady-state behaviour, small enough to keep `cargo bench`
+/// in minutes.
+pub const BENCH_SCALE: f64 = 0.02;
+
+/// Runs the full suite at bench scale with the complete paper bank.
+pub fn bench_suite() -> Vec<AppRun> {
+    run_suite(&RunOptions::paper().with_scale(BENCH_SCALE))
+}
+
+/// Runs the full suite at bench scale with a single configuration.
+pub fn bench_suite_with(specs: Vec<FilterSpec>) -> Vec<AppRun> {
+    run_suite(&RunOptions::paper().with_scale(BENCH_SCALE).with_specs(specs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_suite_produces_ten_runs() {
+        let runs = bench_suite_with(vec![FilterSpec::exclude(8, 2)]);
+        assert_eq!(runs.len(), 10);
+    }
+}

@@ -1,0 +1,293 @@
+//! Physical-address geometry shared by the filters and the SMP substrate.
+//!
+//! The paper assumes a 40-bit physical address space (Figure 3) and maintains
+//! coherence at 32-byte-subblock granularity (§4.1). Every JETTY structure
+//! therefore observes *coherence-unit addresses*: the physical address with
+//! the intra-unit offset stripped. [`AddrSpace`] captures that geometry once
+//! so that filter tag widths, index slices and storage estimates all agree.
+
+use std::fmt;
+
+/// Geometry of the physical address space as seen by snoop filters.
+///
+/// An `AddrSpace` knows how wide physical addresses are (`pa_bits`) and how
+/// many low-order bits form the coherence-unit offset (`unit_shift`, i.e.
+/// log2 of the coherence-unit size in bytes).
+///
+/// # Examples
+///
+/// ```
+/// use jetty_core::AddrSpace;
+///
+/// let space = AddrSpace::default(); // 40-bit PA, 32-byte coherence units
+/// assert_eq!(space.pa_bits(), 40);
+/// assert_eq!(space.unit_bytes(), 32);
+/// assert_eq!(space.unit_bits(), 35);
+/// let unit = space.unit_of(0x1234_5678);
+/// assert_eq!(unit.raw(), 0x1234_5678 >> 5);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct AddrSpace {
+    pa_bits: u32,
+    unit_shift: u32,
+    block_shift: u32,
+}
+
+impl AddrSpace {
+    /// Creates a new address-space description with the L2 tag (block)
+    /// granularity equal to the coherence-unit granularity (no
+    /// subblocking).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pa_bits` is not in `1..=64`, if `unit_shift >= pa_bits`,
+    /// or if `unit_shift` exceeds 12 (a 4 KiB coherence unit is clearly a
+    /// configuration error for this system).
+    pub fn new(pa_bits: u32, unit_shift: u32) -> Self {
+        Self::with_block_shift(pa_bits, unit_shift, unit_shift)
+    }
+
+    /// Creates an address-space description for a subblocked L2: coherence
+    /// units of `2^unit_shift` bytes inside tag blocks of
+    /// `2^block_shift` bytes. Exclude-style filters record absence at
+    /// block granularity (a full tag miss covers every subblock), which is
+    /// where most of their snoop locality comes from (paper §4.3.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the [`AddrSpace::new`] conditions, or if `block_shift` is
+    /// not in `unit_shift..=unit_shift + 4`.
+    pub fn with_block_shift(pa_bits: u32, unit_shift: u32, block_shift: u32) -> Self {
+        assert!(
+            (1..=64).contains(&pa_bits),
+            "physical address width must be 1..=64 bits, got {pa_bits}"
+        );
+        assert!(
+            unit_shift < pa_bits,
+            "unit shift {unit_shift} must be smaller than the PA width {pa_bits}"
+        );
+        assert!(
+            unit_shift <= 12,
+            "coherence units larger than 4 KiB are unsupported (shift {unit_shift})"
+        );
+        assert!(
+            (unit_shift..=unit_shift + 4).contains(&block_shift) && block_shift < pa_bits,
+            "block shift {block_shift} must be in {unit_shift}..={} ",
+            unit_shift + 4
+        );
+        Self { pa_bits, unit_shift, block_shift }
+    }
+
+    /// Width of a physical address in bits.
+    pub fn pa_bits(self) -> u32 {
+        self.pa_bits
+    }
+
+    /// log2 of the coherence-unit size in bytes.
+    pub fn unit_shift(self) -> u32 {
+        self.unit_shift
+    }
+
+    /// Coherence-unit size in bytes.
+    pub fn unit_bytes(self) -> u64 {
+        1 << self.unit_shift
+    }
+
+    /// Width of a coherence-unit address in bits (`pa_bits - unit_shift`).
+    pub fn unit_bits(self) -> u32 {
+        self.pa_bits - self.unit_shift
+    }
+
+    /// Number of distinct coherence units in the address space.
+    ///
+    /// Saturates at `u64::MAX` for 64-bit unit addresses (not reachable with
+    /// the validated constructor, but kept total for safety).
+    pub fn max_units(self) -> u64 {
+        if self.unit_bits() >= 64 {
+            u64::MAX
+        } else {
+            1u64 << self.unit_bits()
+        }
+    }
+
+    /// Masks a raw byte address down to `pa_bits` bits.
+    pub fn clamp(self, byte_addr: u64) -> u64 {
+        if self.pa_bits >= 64 {
+            byte_addr
+        } else {
+            byte_addr & ((1u64 << self.pa_bits) - 1)
+        }
+    }
+
+    /// Converts a byte address into the coherence-unit address snooped on
+    /// the bus.
+    pub fn unit_of(self, byte_addr: u64) -> UnitAddr {
+        UnitAddr(self.clamp(byte_addr) >> self.unit_shift)
+    }
+
+    /// Converts a coherence-unit address back to the byte address of the
+    /// unit's first byte.
+    pub fn byte_of(self, unit: UnitAddr) -> u64 {
+        unit.0 << self.unit_shift
+    }
+
+    /// log2 of the L2 tag-block size in bytes.
+    pub fn block_shift(self) -> u32 {
+        self.block_shift
+    }
+
+    /// log2 of coherence units per tag block (`0` when not subblocked).
+    pub fn block_unit_shift(self) -> u32 {
+        self.block_shift - self.unit_shift
+    }
+
+    /// The block address containing a coherence unit (the granularity at
+    /// which exclude-style filters record absence).
+    pub fn block_of_unit(self, unit: UnitAddr) -> u64 {
+        unit.0 >> self.block_unit_shift()
+    }
+
+    /// Width of a block address in bits.
+    pub fn block_bits(self) -> u32 {
+        self.pa_bits - self.block_shift
+    }
+}
+
+impl Default for AddrSpace {
+    /// The paper's configuration: 40-bit physical addresses, 32-byte
+    /// coherence units inside 64-byte subblocked L2 blocks (§4.1).
+    fn default() -> Self {
+        Self::with_block_shift(40, 5, 6)
+    }
+}
+
+impl fmt::Display for AddrSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-bit PA / {}B units", self.pa_bits, self.unit_bytes())
+    }
+}
+
+/// A coherence-unit address: the quantity that appears on the snoopy bus.
+///
+/// This is a plain newtype over `u64`; use [`AddrSpace::unit_of`] to build
+/// one from a byte address so offsets are stripped consistently.
+///
+/// # Examples
+///
+/// ```
+/// use jetty_core::{AddrSpace, UnitAddr};
+///
+/// let space = AddrSpace::default();
+/// let a = space.unit_of(0x40);
+/// let b = space.unit_of(0x5f);
+/// assert_eq!(a, b); // same 32-byte unit
+/// assert_eq!(a, UnitAddr::new(2));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct UnitAddr(u64);
+
+impl UnitAddr {
+    /// Wraps a raw coherence-unit address.
+    pub fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// The raw unit-address value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Extracts `width` bits starting at bit `lo` (little-endian bit order),
+    /// the primitive used to derive Include-Jetty sub-array indexes.
+    pub fn bits(self, lo: u32, width: u32) -> u64 {
+        debug_assert!(width <= 64);
+        let shifted = if lo >= 64 { 0 } else { self.0 >> lo };
+        if width >= 64 {
+            shifted
+        } else {
+            shifted & ((1u64 << width) - 1)
+        }
+    }
+}
+
+impl fmt::Display for UnitAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{:#x}", self.0)
+    }
+}
+
+impl From<UnitAddr> for u64 {
+    fn from(value: UnitAddr) -> Self {
+        value.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_configuration() {
+        let s = AddrSpace::default();
+        assert_eq!(s.pa_bits(), 40);
+        assert_eq!(s.unit_shift(), 5);
+        assert_eq!(s.unit_bytes(), 32);
+        assert_eq!(s.unit_bits(), 35);
+        assert_eq!(s.max_units(), 1 << 35);
+    }
+
+    #[test]
+    fn unit_of_strips_offset_and_clamps() {
+        let s = AddrSpace::new(40, 5);
+        assert_eq!(s.unit_of(0).raw(), 0);
+        assert_eq!(s.unit_of(31).raw(), 0);
+        assert_eq!(s.unit_of(32).raw(), 1);
+        // Bits above the 40-bit PA are ignored.
+        assert_eq!(s.unit_of(1 << 45).raw(), 0);
+        assert_eq!(s.unit_of((1 << 40) | 64).raw(), 2);
+    }
+
+    #[test]
+    fn byte_of_inverts_unit_of_for_aligned_addresses() {
+        let s = AddrSpace::default();
+        for addr in [0u64, 32, 4096, 0xff_ffff_ffe0] {
+            assert_eq!(s.byte_of(s.unit_of(addr)), addr);
+        }
+    }
+
+    #[test]
+    fn bits_extracts_subfields() {
+        let a = UnitAddr::new(0b1011_0110_1001);
+        assert_eq!(a.bits(0, 4), 0b1001);
+        assert_eq!(a.bits(4, 4), 0b0110);
+        assert_eq!(a.bits(8, 4), 0b1011);
+        assert_eq!(a.bits(2, 3), 0b010);
+        assert_eq!(a.bits(63, 4), 0);
+        assert_eq!(a.bits(64, 4), 0);
+    }
+
+    #[test]
+    fn bits_full_width() {
+        let a = UnitAddr::new(u64::MAX);
+        assert_eq!(a.bits(0, 64), u64::MAX);
+        assert_eq!(a.bits(1, 64), u64::MAX >> 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unit shift")]
+    fn rejects_shift_wider_than_pa() {
+        let _ = AddrSpace::new(8, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "physical address width")]
+    fn rejects_zero_width_pa() {
+        let _ = AddrSpace::new(0, 0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(AddrSpace::default().to_string(), "40-bit PA / 32B units");
+        assert_eq!(UnitAddr::new(0x20).to_string(), "u0x20");
+    }
+}

@@ -1,0 +1,247 @@
+//! The [`SnoopFilter`] trait and the activity/geometry reporting that the
+//! energy model consumes.
+//!
+//! A JETTY sits between the shared bus and the backside of a node's L2.
+//! Every bus snoop first probes the filter; the filter either *guarantees*
+//! that the local L2 holds no copy of the snooped coherence unit
+//! ([`Verdict::NotCached`], the snoop is filtered and the L2 tag array is
+//! never touched) or answers [`Verdict::MaybeCached`], in which case the
+//! L2 tag array is probed as in an unfiltered system.
+//!
+//! Filters are *speculative but safe*: they may fail to filter a snoop that
+//! would miss, but they must never filter a snoop to a unit that is cached
+//! (paper §2, requirement 3). The SMP substrate enforces this invariant in
+//! checked mode, and the property tests in this crate exercise it directly.
+
+use std::fmt;
+
+use crate::addr::UnitAddr;
+
+/// Outcome of probing a snoop filter.
+///
+/// # Examples
+///
+/// ```
+/// use jetty_core::Verdict;
+///
+/// assert!(Verdict::NotCached.is_filtered());
+/// assert!(!Verdict::MaybeCached.is_filtered());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// The filter guarantees the unit is not present in the local L2;
+    /// the snoop-induced tag probe can be skipped.
+    NotCached,
+    /// The unit may be cached; the L2 tag array must be probed.
+    MaybeCached,
+}
+
+impl Verdict {
+    /// `true` when the verdict filters the snoop (no tag probe needed).
+    pub fn is_filtered(self) -> bool {
+        matches!(self, Verdict::NotCached)
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::NotCached => f.write_str("not-cached"),
+            Verdict::MaybeCached => f.write_str("maybe-cached"),
+        }
+    }
+}
+
+/// How much absence a snoop miss proved, reported back to filters so
+/// exclude-style structures know what they may safely record.
+///
+/// With a subblocked L2 a snoop can miss two ways: the whole tag missed
+/// (no subblock of the block is present — the common case, and the one
+/// that lets an EJ record the entire block) or the tag matched but the
+/// snooped subblock was invalid (only that unit is known absent).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MissScope {
+    /// The entire tag block containing the unit is absent.
+    Block,
+    /// Only the snooped coherence unit is known absent (tag matched, the
+    /// sibling subblock may be present).
+    Unit,
+}
+
+/// The kind of storage array a filter component is built from, used by the
+/// energy model to pick per-access cost formulas.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ArrayKind {
+    /// An ordinary RAM array read/written one row at a time (IJ p-bit and
+    /// cnt arrays, and the EJ/VEJ tag store, which reads one set per probe).
+    Sram,
+    /// A fully associative match structure (used by the substrate for the
+    /// writeback buffer; no JETTY variant in the paper needs a CAM).
+    Cam,
+}
+
+/// Geometry of one physical storage array inside a filter.
+///
+/// The energy model turns each spec into a per-access energy using the
+/// Kamble–Ghose formulas; the paired [`ArrayActivity`] supplies the access
+/// counts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArraySpec {
+    /// Human-readable label (`"ej.tags"`, `"ij.pbits[2]"`, ...).
+    pub label: String,
+    /// Number of rows (word lines).
+    pub rows: usize,
+    /// Bits read or written per access (columns).
+    pub bits_per_row: usize,
+    /// Array style.
+    pub kind: ArrayKind,
+}
+
+impl ArraySpec {
+    /// Creates a RAM array spec.
+    pub fn sram(label: impl Into<String>, rows: usize, bits_per_row: usize) -> Self {
+        Self { label: label.into(), rows, bits_per_row, kind: ArrayKind::Sram }
+    }
+
+    /// Total storage of this array in bits.
+    pub fn storage_bits(&self) -> usize {
+        self.rows * self.bits_per_row
+    }
+}
+
+/// Read/write access counts for one array, aligned index-for-index with the
+/// filter's [`SnoopFilter::arrays`] list.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArrayActivity {
+    /// Number of row reads.
+    pub reads: u64,
+    /// Number of row writes.
+    pub writes: u64,
+}
+
+impl ArrayActivity {
+    /// Sum of reads and writes.
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+/// A filter's accumulated activity since construction (or the last
+/// [`SnoopFilter::reset_activity`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FilterActivity {
+    /// Per-array access counts, aligned with [`SnoopFilter::arrays`].
+    pub arrays: Vec<ArrayActivity>,
+    /// Snoop probes observed.
+    pub probes: u64,
+    /// Snoop probes answered [`Verdict::NotCached`].
+    pub filtered: u64,
+}
+
+impl FilterActivity {
+    /// Creates an activity record with `n` zeroed array slots.
+    pub fn with_arrays(n: usize) -> Self {
+        Self { arrays: vec![ArrayActivity::default(); n], probes: 0, filtered: 0 }
+    }
+
+    /// Fraction of probes filtered, in `[0, 1]`; `0` when no probes occurred.
+    pub fn filter_rate(&self) -> f64 {
+        if self.probes == 0 {
+            0.0
+        } else {
+            self.filtered as f64 / self.probes as f64
+        }
+    }
+}
+
+/// A snoop filter in the JETTY family.
+///
+/// The SMP substrate drives a filter through four notifications:
+///
+/// 1. [`probe`](SnoopFilter::probe) on every bus snoop destined for this
+///    node (reads the filter's arrays);
+/// 2. [`record_snoop_miss`](SnoopFilter::record_snoop_miss) when an
+///    *unfiltered* snoop subsequently missed in the local L2 (lets
+///    exclude-style filters learn);
+/// 3. [`on_allocate`](SnoopFilter::on_allocate) when the local L2 gains a
+///    valid copy of a coherence unit (fills);
+/// 4. [`on_deallocate`](SnoopFilter::on_deallocate) when the local L2 loses
+///    one (evictions and snoop invalidations).
+///
+/// # Safety contract
+///
+/// After any interleaving of these calls in which every unit's
+/// allocate/deallocate events are balanced, `probe(u)` may return
+/// [`Verdict::NotCached`] only if `u` is not currently allocated. Filters in
+/// this crate uphold the contract structurally; the substrate re-checks it
+/// in checked mode.
+pub trait SnoopFilter: fmt::Debug {
+    /// Probes the filter for a bus snoop to `addr`.
+    fn probe(&mut self, addr: UnitAddr) -> Verdict;
+
+    /// Informs the filter that an unfiltered snoop to `addr` probed the
+    /// local L2 tag array and missed, with the proven absence `scope`.
+    fn record_snoop_miss(&mut self, addr: UnitAddr, scope: MissScope);
+
+    /// Informs the filter that the local L2 now holds a valid copy of
+    /// `addr`.
+    fn on_allocate(&mut self, addr: UnitAddr);
+
+    /// Informs the filter that the local L2 no longer holds a valid copy of
+    /// `addr`.
+    fn on_deallocate(&mut self, addr: UnitAddr);
+
+    /// The physical arrays this filter is built from, for storage/energy
+    /// estimation.
+    fn arrays(&self) -> Vec<ArraySpec>;
+
+    /// Access counts accumulated so far, aligned with [`arrays`](Self::arrays).
+    fn activity(&self) -> FilterActivity;
+
+    /// Clears the accumulated activity counters (state is preserved).
+    fn reset_activity(&mut self);
+
+    /// Short configuration name, e.g. `"EJ-32x4"` or `"IJ-10x4x7"`.
+    fn name(&self) -> String;
+
+    /// Total storage in bits across all arrays.
+    fn storage_bits(&self) -> usize {
+        self.arrays().iter().map(ArraySpec::storage_bits).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_filtering() {
+        assert!(Verdict::NotCached.is_filtered());
+        assert!(!Verdict::MaybeCached.is_filtered());
+        assert_eq!(Verdict::NotCached.to_string(), "not-cached");
+        assert_eq!(Verdict::MaybeCached.to_string(), "maybe-cached");
+    }
+
+    #[test]
+    fn array_spec_storage() {
+        let spec = ArraySpec::sram("t", 32, 124);
+        assert_eq!(spec.storage_bits(), 32 * 124);
+        assert_eq!(spec.kind, ArrayKind::Sram);
+    }
+
+    #[test]
+    fn activity_filter_rate() {
+        let mut a = FilterActivity::with_arrays(2);
+        assert_eq!(a.filter_rate(), 0.0);
+        a.probes = 10;
+        a.filtered = 4;
+        assert!((a.filter_rate() - 0.4).abs() < 1e-12);
+        assert_eq!(a.arrays.len(), 2);
+    }
+
+    #[test]
+    fn array_activity_total() {
+        let a = ArrayActivity { reads: 3, writes: 4 };
+        assert_eq!(a.total(), 7);
+    }
+}

@@ -1,0 +1,334 @@
+//! Full-run energy accounting (paper §4.4, Figure 6).
+//!
+//! Consumes the raw event counts of a finished simulation
+//! ([`RunStats`](jetty_sim::RunStats)) plus one filter's coverage/activity
+//! report ([`FilterReport`](jetty_sim::FilterReport)) and produces energy
+//! totals for two L2 organisations:
+//!
+//! * **Serial** tag/data access (Alpha 21164, Intel Xeon style): the data
+//!   array is touched only when actually needed;
+//! * **Parallel** tag/data access (latency-optimised): every tag probe —
+//!   local or snoop — reads a data subblock alongside, so a filtered snoop
+//!   saves both arrays.
+//!
+//! Because a JETTY never alters protocol behaviour, one simulation yields
+//! both the filtered and the unfiltered (baseline) energies: the baseline
+//! simply charges a tag probe for every snoop and no filter energy. This
+//! mirrors the paper's methodology of comparing organisations over
+//! identical traces, and includes the IJ counter-update traffic from L2
+//! allocations/replacements, the EJ insertions, and the writeback-buffer
+//! probes that filtered snoops still pay.
+
+use jetty_core::{ArrayKind, ArraySpec};
+use jetty_sim::{FilterReport, RunStats};
+
+use crate::cacti_lite::optimize_array;
+use crate::cache_energy::{CacheEnergy, CacheGeometry, WbEnergy};
+use crate::kamble_ghose::CamArray;
+use crate::tech::TechParams;
+
+/// L2 tag/data access organisation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AccessMode {
+    /// Tag first, data only on demand (energy-optimised; Figure 6 a/b).
+    Serial,
+    /// Tag and data probed together (latency-optimised; Figure 6 c/d).
+    Parallel,
+}
+
+/// Energy totals of one run under one configuration, in joules.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Local L2 tag-array energy.
+    pub local_tag: f64,
+    /// Local L2 data-array energy.
+    pub local_data: f64,
+    /// Snoop-induced L2 tag-array energy (probes + state writes).
+    pub snoop_tag: f64,
+    /// Snoop-induced L2 data-array energy (supplies; in parallel mode the
+    /// probe-coupled data reads).
+    pub snoop_data: f64,
+    /// Writeback-buffer energy (probes on every snoop + insertions).
+    pub wb: f64,
+    /// JETTY energy (probes, EJ insertions, IJ counter updates).
+    pub filter: f64,
+}
+
+impl EnergyBreakdown {
+    /// Energy attributable to snoop handling: the denominator of
+    /// Figure 6 (a) and (c).
+    pub fn snoop_side(&self) -> f64 {
+        self.snoop_tag + self.snoop_data + self.wb + self.filter
+    }
+
+    /// Total L2-related energy: the denominator of Figure 6 (b) and (d).
+    pub fn total(&self) -> f64 {
+        self.local_tag + self.local_data + self.snoop_side()
+    }
+}
+
+/// Per-event energies for the whole SMP node stack.
+#[derive(Clone, Debug)]
+pub struct SmpEnergyModel {
+    tech: TechParams,
+    l2: CacheEnergy,
+    wb: WbEnergy,
+}
+
+impl SmpEnergyModel {
+    /// Builds the model for the paper's simulated node: 1 MB subblocked
+    /// direct-mapped L2, 8-entry WB over 35-bit unit addresses.
+    pub fn paper_node() -> Self {
+        Self::new(CacheGeometry::paper_l2(), 8, 35, TechParams::default())
+    }
+
+    /// Builds a model from explicit geometry.
+    pub fn new(
+        l2_geometry: CacheGeometry,
+        wb_entries: usize,
+        unit_addr_bits: u32,
+        tech: TechParams,
+    ) -> Self {
+        let l2 = CacheEnergy::new(l2_geometry, &tech);
+        let wb = WbEnergy::new(wb_entries, unit_addr_bits, &tech);
+        Self { tech, l2, wb }
+    }
+
+    /// The L2 per-event energies in use.
+    pub fn l2(&self) -> &CacheEnergy {
+        &self.l2
+    }
+
+    /// Per-access (read, write) energies of one filter array.
+    pub fn array_energies(&self, spec: &ArraySpec) -> (f64, f64) {
+        match spec.kind {
+            ArrayKind::Sram => {
+                let banked = optimize_array(spec.rows, spec.bits_per_row, &self.tech);
+                (banked.read_energy, banked.write_energy)
+            }
+            ArrayKind::Cam => {
+                let cam = CamArray::new(spec.rows, spec.bits_per_row);
+                (cam.probe_energy(&self.tech), cam.write_energy(&self.tech))
+            }
+        }
+    }
+
+    /// Total energy dissipated inside one filter configuration across all
+    /// nodes of a run.
+    pub fn filter_energy(&self, report: &FilterReport) -> f64 {
+        let energies: Vec<(f64, f64)> =
+            report.arrays.iter().map(|a| self.array_energies(a)).collect();
+        report
+            .activities
+            .iter()
+            .map(|activity| {
+                activity
+                    .arrays
+                    .iter()
+                    .zip(&energies)
+                    .map(|(counts, (read_e, write_e))| {
+                        counts.reads as f64 * read_e + counts.writes as f64 * write_e
+                    })
+                    .sum::<f64>()
+            })
+            .sum()
+    }
+
+    /// Energy breakdown of a run. `filter = None` gives the unfiltered
+    /// baseline; `Some(report)` charges the filter's own energy and skips
+    /// the tag (and, in parallel mode, data) probes of filtered snoops.
+    pub fn breakdown(
+        &self,
+        run: &RunStats,
+        filter: Option<&FilterReport>,
+        mode: AccessMode,
+    ) -> EnergyBreakdown {
+        let n = &run.nodes;
+        let snoop_probes = match filter {
+            Some(report) => n.snoops_seen - report.filtered,
+            None => n.snoops_seen,
+        } as f64;
+
+        let tag_probe = self.l2.tag_probe();
+        let tag_write = self.l2.tag_write();
+        let data_read = self.l2.data_read_unit();
+        let data_write = self.l2.data_write_unit();
+
+        let local_tag = n.l2_tag_reads as f64 * tag_probe + n.l2_tag_writes as f64 * tag_write;
+        let snoop_tag = snoop_probes * tag_probe + n.snoop_state_writes as f64 * tag_write;
+
+        let (local_data, snoop_data) = match mode {
+            AccessMode::Serial => (
+                (n.l2_data_reads + n.l2_evict_data_reads) as f64 * data_read
+                    + n.l2_data_writes as f64 * data_write,
+                n.snoop_supplies as f64 * data_read,
+            ),
+            AccessMode::Parallel => (
+                // Every local tag probe reads a data subblock alongside;
+                // demand data reads are subsumed, eviction read-outs and
+                // writes are not.
+                n.l2_tag_reads as f64 * data_read
+                    + n.l2_evict_data_reads as f64 * data_read
+                    + n.l2_data_writes as f64 * data_write,
+                // Every surviving snoop probe reads data too; supplies are
+                // subsumed by the probe-coupled read.
+                snoop_probes * data_read,
+            ),
+        };
+
+        let wb = n.wb_probes as f64 * self.wb.probe() + n.wb_pushes as f64 * self.wb.write();
+        let filter_energy = filter.map_or(0.0, |r| self.filter_energy(r));
+
+        EnergyBreakdown { local_tag, local_data, snoop_tag, snoop_data, wb, filter: filter_energy }
+    }
+
+    /// Figure 6 (a)/(c): energy reduction over all snoop accesses.
+    pub fn snoop_energy_reduction(
+        &self,
+        run: &RunStats,
+        report: &FilterReport,
+        mode: AccessMode,
+    ) -> f64 {
+        let base = self.breakdown(run, None, mode).snoop_side();
+        let with = self.breakdown(run, Some(report), mode).snoop_side();
+        if base == 0.0 {
+            0.0
+        } else {
+            1.0 - with / base
+        }
+    }
+
+    /// Figure 6 (b)/(d): energy reduction over all L2 accesses.
+    pub fn total_energy_reduction(
+        &self,
+        run: &RunStats,
+        report: &FilterReport,
+        mode: AccessMode,
+    ) -> f64 {
+        let base = self.breakdown(run, None, mode).total();
+        let with = self.breakdown(run, Some(report), mode).total();
+        if base == 0.0 {
+            0.0
+        } else {
+            1.0 - with / base
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jetty_core::FilterSpec;
+    use jetty_sim::{Op, System, SystemConfig};
+
+    /// Runs a disjoint-working-set workload (JETTY's best case) and returns
+    /// (run stats, reports).
+    fn sample_run(specs: &[FilterSpec]) -> (RunStats, Vec<FilterReport>) {
+        let mut sys = System::new(SystemConfig::paper_4way(), specs);
+        for i in 0..2000u64 {
+            let cpu = (i % 4) as usize;
+            let addr = 0x100_0000 * cpu as u64 + (i / 4) * 32;
+            if i % 5 == 0 {
+                sys.access(cpu, Op::Write, addr);
+            } else {
+                sys.access(cpu, Op::Read, addr);
+            }
+        }
+        (sys.run_stats(), sys.filter_reports())
+    }
+
+    #[test]
+    fn baseline_has_no_filter_energy() {
+        let (run, _) = sample_run(&[]);
+        let model = SmpEnergyModel::paper_node();
+        let b = model.breakdown(&run, None, AccessMode::Serial);
+        assert_eq!(b.filter, 0.0);
+        assert!(b.total() > 0.0);
+        assert!(b.snoop_side() > 0.0);
+        assert!(b.snoop_side() < b.total());
+    }
+
+    #[test]
+    fn good_filter_reduces_energy_both_ways() {
+        let (run, reports) = sample_run(&[FilterSpec::hybrid_scalar(10, 4, 7, 32, 4)]);
+        let model = SmpEnergyModel::paper_node();
+        let report = &reports[0];
+        assert!(report.coverage() > 0.8, "coverage {}", report.coverage());
+        for mode in [AccessMode::Serial, AccessMode::Parallel] {
+            let snoop_red = model.snoop_energy_reduction(&run, report, mode);
+            let total_red = model.total_energy_reduction(&run, report, mode);
+            assert!(snoop_red > 0.2, "{mode:?} snoop reduction {snoop_red}");
+            assert!(total_red > 0.0, "{mode:?} total reduction {total_red}");
+            assert!(snoop_red > total_red, "snoop-side reduction must exceed whole-L2 reduction");
+        }
+    }
+
+    #[test]
+    fn parallel_mode_saves_more_than_serial() {
+        // Figure 6 c/d vs a/b: filtered snoops save tag+data in parallel
+        // organisations, so reductions are larger.
+        let (run, reports) = sample_run(&[FilterSpec::hybrid_scalar(10, 4, 7, 32, 4)]);
+        let model = SmpEnergyModel::paper_node();
+        let report = &reports[0];
+        let serial = model.snoop_energy_reduction(&run, report, AccessMode::Serial);
+        let parallel = model.snoop_energy_reduction(&run, report, AccessMode::Parallel);
+        assert!(parallel > serial, "parallel {parallel} <= serial {serial}");
+    }
+
+    #[test]
+    fn null_filter_costs_nothing_and_saves_nothing() {
+        let (run, reports) = sample_run(&[FilterSpec::Null]);
+        let model = SmpEnergyModel::paper_node();
+        let report = &reports[0];
+        assert_eq!(model.filter_energy(report), 0.0);
+        assert_eq!(model.snoop_energy_reduction(&run, report, AccessMode::Serial), 0.0);
+    }
+
+    #[test]
+    fn filter_energy_grows_with_structure_size() {
+        let (_, reports) =
+            sample_run(&[FilterSpec::include(10, 4, 7), FilterSpec::include(6, 5, 6)]);
+        let model = SmpEnergyModel::paper_node();
+        let big = model.filter_energy(&reports[0]);
+        let small = model.filter_energy(&reports[1]);
+        assert!(big > small, "IJ-10 energy {big} <= IJ-6 energy {small}");
+    }
+
+    #[test]
+    fn baseline_total_exceeds_filtered_total() {
+        let (run, reports) = sample_run(&[FilterSpec::include(9, 4, 7)]);
+        let model = SmpEnergyModel::paper_node();
+        let base = model.breakdown(&run, None, AccessMode::Serial);
+        let with = model.breakdown(&run, Some(&reports[0]), AccessMode::Serial);
+        assert!(with.total() < base.total());
+        // Local-side energy is identical: filters only touch the snoop side.
+        assert_eq!(with.local_tag, base.local_tag);
+        assert_eq!(with.local_data, base.local_data);
+        assert_eq!(with.wb, base.wb);
+    }
+
+    #[test]
+    fn energy_reduction_correlates_with_coverage() {
+        let (run, reports) =
+            sample_run(&[FilterSpec::hybrid_scalar(10, 4, 7, 32, 4), FilterSpec::exclude(8, 2)]);
+        let model = SmpEnergyModel::paper_node();
+        let (hi, lo) = (&reports[0], &reports[1]);
+        assert!(hi.coverage() > lo.coverage());
+        assert!(
+            model.snoop_energy_reduction(&run, hi, AccessMode::Serial)
+                > model.snoop_energy_reduction(&run, lo, AccessMode::Serial)
+        );
+    }
+
+    #[test]
+    fn breakdown_components_are_nonnegative() {
+        let (run, reports) = sample_run(&[FilterSpec::hybrid_vector(10, 4, 7, 32, 4, 8)]);
+        let model = SmpEnergyModel::paper_node();
+        for mode in [AccessMode::Serial, AccessMode::Parallel] {
+            let b = model.breakdown(&run, Some(&reports[0]), mode);
+            for v in [b.local_tag, b.local_data, b.snoop_tag, b.snoop_data, b.wb, b.filter] {
+                assert!(v >= 0.0 && v.is_finite());
+            }
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Per-access energies for cache structures, derived from geometry.
+//!
+//! Turns a cache description (capacity, block size, associativity,
+//! subblocking, tag width) into the per-event energies the accounting
+//! layer multiplies by event counts: tag-set probes, tag-entry writes, and
+//! data reads/writes at subblock and block granularity. Arrays are banked
+//! with [`optimize_array`](crate::cacti_lite::optimize_array), matching the
+//! paper's use of CACTI for bank selection.
+
+use crate::cacti_lite::{optimize_array, optimize_array_constrained, BankedArray};
+use crate::kamble_ghose::CamArray;
+use crate::tech::TechParams;
+
+/// Tag arrays sit on the latency-critical path (the probe must resolve
+/// before the data way is known, and snoops must answer within the bus
+/// window), so they cannot bank as aggressively as data arrays. Four banks
+/// is a generous bound for a single-cycle-ish lookup; the resulting tall
+/// bit lines are why tag probes of megabyte caches cost as much as a data
+/// access — the asymmetry the paper exploits (§2.1).
+const TAG_MAX_BANKS: usize = 4;
+
+/// Logical geometry of a cache for energy purposes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes.
+    pub capacity: usize,
+    /// Block (tag-granularity) size in bytes.
+    pub block_bytes: usize,
+    /// Subblocks per block.
+    pub subblocks: usize,
+    /// Associativity.
+    pub assoc: usize,
+    /// Physical address width in bits.
+    pub pa_bits: u32,
+    /// Coherence-state bits per subblock.
+    pub state_bits: u32,
+}
+
+impl CacheGeometry {
+    /// The paper's simulated L2: 1 MB direct-mapped, 64-byte blocks of two
+    /// subblocks, 40-bit PA, MOESI (3 state bits).
+    pub fn paper_l2() -> Self {
+        Self {
+            capacity: 1024 * 1024,
+            block_bytes: 64,
+            subblocks: 2,
+            assoc: 1,
+            pa_bits: 40,
+            state_bits: 3,
+        }
+    }
+
+    /// The analytic model's L2 (§2.1): 1 MB 4-way set-associative, 36-bit
+    /// PA plus 2 bits of MOSI state, with the given block size.
+    pub fn analytic_l2(block_bytes: usize) -> Self {
+        Self { capacity: 1024 * 1024, block_bytes, subblocks: 1, assoc: 4, pa_bits: 36, state_bits: 2 }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.capacity / (self.block_bytes * self.assoc)
+    }
+
+    /// Tag width: PA minus block offset minus set index.
+    pub fn tag_bits(&self) -> u32 {
+        let offset_bits = self.block_bytes.trailing_zeros();
+        let index_bits = self.sets().trailing_zeros();
+        self.pa_bits - offset_bits - index_bits
+    }
+
+    /// Bits of one tag entry: tag plus per-subblock state.
+    pub fn tag_entry_bits(&self) -> usize {
+        self.tag_bits() as usize + self.subblocks * self.state_bits as usize
+    }
+
+    /// Subblock size in bytes.
+    pub fn subblock_bytes(&self) -> usize {
+        self.block_bytes / self.subblocks
+    }
+}
+
+/// Per-event energies (joules) for one cache.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CacheEnergy {
+    geometry: CacheGeometry,
+    tag_probe_array: BankedArray,
+    tag_entry_array: BankedArray,
+    data_unit_array: BankedArray,
+    data_block_array: BankedArray,
+}
+
+impl CacheEnergy {
+    /// Builds the banked arrays for a geometry.
+    pub fn new(geometry: CacheGeometry, tech: &TechParams) -> Self {
+        let sets = geometry.sets();
+        let entry_bits = geometry.tag_entry_bits();
+        // A probe reads all ways of one set; latency-constrained banking.
+        let tag_probe_array =
+            optimize_array_constrained(sets, geometry.assoc * entry_bits, TAG_MAX_BANKS, tech);
+        // A tag update writes a single entry.
+        let tag_entry_array = optimize_array_constrained(sets, entry_bits, TAG_MAX_BANKS, tech);
+        // Data accesses: one subblock (the coherence unit) or one block.
+        let unit_rows = sets * geometry.assoc * geometry.subblocks;
+        let unit_bits = geometry.subblock_bytes() * 8;
+        let data_unit_array = optimize_array(unit_rows, unit_bits, tech);
+        let block_rows = sets * geometry.assoc;
+        let block_bits = geometry.block_bytes * 8;
+        let data_block_array = optimize_array(block_rows, block_bits, tech);
+        Self { geometry, tag_probe_array, tag_entry_array, data_unit_array, data_block_array }
+    }
+
+    /// The geometry this model was built from.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    /// Energy of one tag-set probe (reads all ways).
+    pub fn tag_probe(&self) -> f64 {
+        self.tag_probe_array.read_energy
+    }
+
+    /// Energy of one tag-entry write (fill, state change, invalidation).
+    pub fn tag_write(&self) -> f64 {
+        self.tag_entry_array.write_energy
+    }
+
+    /// Energy of reading one subblock from the data array.
+    pub fn data_read_unit(&self) -> f64 {
+        self.data_unit_array.read_energy
+    }
+
+    /// Energy of writing one subblock.
+    pub fn data_write_unit(&self) -> f64 {
+        self.data_unit_array.write_energy
+    }
+
+    /// Energy of reading one full block (the analytic model's `DATA`).
+    pub fn data_read_block(&self) -> f64 {
+        self.data_block_array.read_energy
+    }
+
+    /// Energy of writing one full block.
+    pub fn data_write_block(&self) -> f64 {
+        self.data_block_array.write_energy
+    }
+}
+
+/// Per-event energies for the writeback buffer: a small CAM probed by every
+/// snoop.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WbEnergy {
+    cam: CamArray,
+    probe: f64,
+    write: f64,
+}
+
+impl WbEnergy {
+    /// Builds the model for a WB of `entries` slots tracking
+    /// `unit_addr_bits`-wide coherence-unit addresses.
+    pub fn new(entries: usize, unit_addr_bits: u32, tech: &TechParams) -> Self {
+        let cam = CamArray::new(entries, unit_addr_bits as usize);
+        Self { cam, probe: cam.probe_energy(tech), write: cam.write_energy(tech) }
+    }
+
+    /// Energy of one associative probe.
+    pub fn probe(&self) -> f64 {
+        self.probe
+    }
+
+    /// Energy of inserting one entry.
+    pub fn write(&self) -> f64 {
+        self.write
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> TechParams {
+        TechParams::default()
+    }
+
+    #[test]
+    fn paper_l2_geometry() {
+        let g = CacheGeometry::paper_l2();
+        assert_eq!(g.sets(), 16384);
+        // 40 - 6 (offset) - 14 (index) = 20 tag bits + 2x3 state.
+        assert_eq!(g.tag_bits(), 20);
+        assert_eq!(g.tag_entry_bits(), 26);
+        assert_eq!(g.subblock_bytes(), 32);
+    }
+
+    #[test]
+    fn analytic_l2_geometry_matches_section_2_1() {
+        let g32 = CacheGeometry::analytic_l2(32);
+        // 1MB 4-way 32B: 8192 sets; 36 - 5 - 13 = 18 tag bits + 2 state.
+        assert_eq!(g32.sets(), 8192);
+        assert_eq!(g32.tag_bits(), 18);
+        assert_eq!(g32.tag_entry_bits(), 20);
+        let g64 = CacheGeometry::analytic_l2(64);
+        assert_eq!(g64.sets(), 4096);
+        assert_eq!(g64.tag_bits(), 18);
+    }
+
+    #[test]
+    fn tag_probe_is_comparable_to_block_data_read() {
+        // The paper's central premise (§2.1): in large high-associativity
+        // L2s, the latency-constrained tag probe costs energy comparable to
+        // one (heavily banked) data-block access.
+        for block in [32usize, 64] {
+            let e = CacheEnergy::new(CacheGeometry::analytic_l2(block), &tech());
+            let ratio = e.tag_probe() / e.data_read_block();
+            assert!(
+                (0.3..=4.0).contains(&ratio),
+                "tag/data ratio {ratio} out of the plausible band for {block}B blocks"
+            );
+        }
+    }
+
+    #[test]
+    fn smaller_blocks_make_data_cheaper() {
+        let e32 = CacheEnergy::new(CacheGeometry::analytic_l2(32), &tech());
+        let e64 = CacheEnergy::new(CacheGeometry::analytic_l2(64), &tech());
+        assert!(e32.data_read_block() < e64.data_read_block());
+    }
+
+    #[test]
+    fn unit_accesses_cheaper_than_block_accesses() {
+        let e = CacheEnergy::new(CacheGeometry::paper_l2(), &tech());
+        assert!(e.data_read_unit() < e.data_read_block());
+        assert!(e.data_write_unit() < e.data_write_block());
+    }
+
+    #[test]
+    fn tag_write_is_bounded_by_tag_probe() {
+        // A write touches one entry at write swing; the probe reads four
+        // at read swing. The write stays within a small multiple.
+        let e = CacheEnergy::new(CacheGeometry::analytic_l2(32), &tech());
+        assert!(e.tag_write() < e.tag_probe());
+        // Direct-mapped: a single-entry write at 2x swing lands near 2x
+        // the single-entry read.
+        let dm = CacheEnergy::new(CacheGeometry::paper_l2(), &tech());
+        assert!(dm.tag_write() < dm.tag_probe() * 2.5);
+        assert!(dm.tag_write() > dm.tag_probe() * 0.5);
+    }
+
+    #[test]
+    fn wb_probe_is_negligible_vs_l2_tag_probe() {
+        let l2 = CacheEnergy::new(CacheGeometry::paper_l2(), &tech());
+        let wb = WbEnergy::new(8, 35, &tech());
+        assert!(wb.probe() < l2.tag_probe() / 10.0, "WB probe {} vs tag {}", wb.probe(), l2.tag_probe());
+    }
+
+    #[test]
+    fn energies_are_positive_and_finite() {
+        let e = CacheEnergy::new(CacheGeometry::paper_l2(), &tech());
+        for v in [
+            e.tag_probe(),
+            e.tag_write(),
+            e.data_read_unit(),
+            e.data_write_unit(),
+            e.data_read_block(),
+            e.data_write_block(),
+        ] {
+            assert!(v.is_finite() && v > 0.0);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! CACTI-style array partitioning.
+//!
+//! The paper "used CACTI to determine the optimal number of banks for a
+//! 0.18 µm process" (§2.1, §4.1). Full CACTI optimises delay, area and
+//! power jointly; for an energy study only the energy-minimising
+//! partitioning matters, so this module sweeps the classical bit-line
+//! segmentation parameter `ndbl` (how many row-wise banks the array is
+//! divided into; only one bank is active per access) over powers of two and
+//! picks the organisation with the lowest per-access read energy.
+//!
+//! Each doubling of the bank count pays a bank-select/routing stage
+//! ([`TechParams::e_bank_stage`]), so register-file-sized arrays stay
+//! unbanked while megabyte arrays bank heavily — the qualitative behaviour
+//! CACTI exhibits.
+//!
+//! [`optimize_array_constrained`] additionally caps the bank count; the
+//! cache model uses it for *tag* arrays, which sit on the latency-critical
+//! lookup path and therefore cannot be partitioned as aggressively as data
+//! arrays (banking adds select stages to the access time). This asymmetry
+//! is what makes a tag probe energy-comparable to a data access in large
+//! caches — the effect the whole paper rests on (§2.1).
+
+use crate::kamble_ghose::SramArray;
+use crate::tech::TechParams;
+
+/// An energy-optimised banked organisation of a logical `rows x cols`
+/// array.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BankedArray {
+    /// Logical rows of the unpartitioned array.
+    pub logical_rows: usize,
+    /// Logical columns of the unpartitioned array.
+    pub logical_cols: usize,
+    /// Bit-line divisions (row-wise banks); one bank is active per access.
+    pub ndbl: usize,
+    /// The active subarray geometry.
+    pub subarray: SramArray,
+    /// Per-access read energy of the chosen organisation (J).
+    pub read_energy: f64,
+    /// Per-access write energy of the chosen organisation (J).
+    pub write_energy: f64,
+}
+
+impl BankedArray {
+    /// Total banks.
+    pub fn banks(&self) -> usize {
+        self.ndbl
+    }
+}
+
+/// Maximum partitioning factor explored. Data arrays are off the critical
+/// path and can be segmented deeply; the per-stage cost keeps the sweep
+/// honest.
+const MAX_DIV: usize = 256;
+
+/// Energy of routing an access through `log2(ndbl)` bank-select stages.
+fn bank_overhead(ndbl: usize, tech: &TechParams) -> f64 {
+    (ndbl.max(1) as f64).log2() * tech.e_bank_stage
+}
+
+/// Finds the energy-minimising banked organisation of a `rows x cols`
+/// logical array.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+///
+/// # Examples
+///
+/// ```
+/// use jetty_energy::{optimize_array, TechParams};
+///
+/// let tech = TechParams::default();
+/// // The paper's 1 MB L2 data array: 16384 blocks x 512 bits.
+/// let banked = optimize_array(16384, 512, &tech);
+/// assert!(banked.banks() > 1); // banking always wins at this size
+/// ```
+pub fn optimize_array(rows: usize, cols: usize, tech: &TechParams) -> BankedArray {
+    optimize_array_constrained(rows, cols, MAX_DIV, tech)
+}
+
+/// Like [`optimize_array`] but caps the bank count at `max_banks`
+/// (latency-critical arrays such as cache tags).
+///
+/// # Panics
+///
+/// Panics if a dimension or `max_banks` is zero.
+pub fn optimize_array_constrained(
+    rows: usize,
+    cols: usize,
+    max_banks: usize,
+    tech: &TechParams,
+) -> BankedArray {
+    assert!(rows > 0 && cols > 0, "array dimensions must be nonzero");
+    assert!(max_banks > 0, "max_banks must be nonzero");
+    let mut best: Option<BankedArray> = None;
+    let mut ndbl = 1;
+    while ndbl <= max_banks && ndbl <= rows {
+        let sub = SramArray::new(rows.div_ceil(ndbl), cols);
+        let overhead = bank_overhead(ndbl, tech);
+        let read = sub.read_energy(tech) + overhead;
+        let write = sub.write_energy(tech) + overhead;
+        if best.as_ref().is_none_or(|b| read < b.read_energy) {
+            best = Some(BankedArray {
+                logical_rows: rows,
+                logical_cols: cols,
+                ndbl,
+                subarray: sub,
+                read_energy: read,
+                write_energy: write,
+            });
+        }
+        ndbl *= 2;
+    }
+    best.expect("sweep always visits ndbl=1")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> TechParams {
+        TechParams::default()
+    }
+
+    #[test]
+    fn banking_beats_flat_for_large_arrays() {
+        let flat = SramArray::new(16384, 512).read_energy(&tech());
+        let banked = optimize_array(16384, 512, &tech());
+        assert!(banked.read_energy < flat / 4.0, "banked {} vs flat {flat}", banked.read_energy);
+        assert!(banked.banks() >= 8);
+    }
+
+    #[test]
+    fn tiny_arrays_stay_unbanked() {
+        let banked = optimize_array(32, 32, &tech());
+        assert_eq!(banked.banks(), 1, "a register-file-sized array should not bank");
+    }
+
+    #[test]
+    fn constraint_caps_the_bank_count() {
+        let free = optimize_array(16384, 26, &tech());
+        let capped = optimize_array_constrained(16384, 26, 4, &tech());
+        assert!(capped.banks() <= 4);
+        assert!(free.banks() > capped.banks());
+        // The latency constraint costs energy.
+        assert!(capped.read_energy > free.read_energy);
+    }
+
+    #[test]
+    fn energy_is_monotone_in_logical_size() {
+        let small = optimize_array(1024, 128, &tech());
+        let large = optimize_array(16384, 512, &tech());
+        assert!(large.read_energy > small.read_energy);
+    }
+
+    #[test]
+    fn subarray_covers_logical_array() {
+        let b = optimize_array(1000, 100, &tech()); // non-power-of-two
+        assert!(b.subarray.rows * b.ndbl >= 1000);
+        assert_eq!(b.subarray.cols, 100);
+    }
+
+    #[test]
+    fn write_energy_tracks_read_energy() {
+        // Writes drive a slightly larger swing but skip sense amps and
+        // output drivers, so banked writes land near banked reads.
+        let b = optimize_array(16384, 512, &tech());
+        assert!(b.write_energy > b.read_energy * 0.5);
+        assert!(b.write_energy < b.read_energy * 3.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = optimize_array(8192, 256, &tech());
+        let b = optimize_array(8192, 256, &tech());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn rejects_zero_rows() {
+        let _ = optimize_array(0, 8, &tech());
+    }
+}

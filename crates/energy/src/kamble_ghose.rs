@@ -1,0 +1,196 @@
+//! Kamble–Ghose analytical energy model for SRAM/CAM arrays.
+//!
+//! Kamble & Ghose ("Analytical Energy Dissipation Models for Low Power
+//! Caches", ISLPED 1997) decompose a cache access into bit-line, word-line,
+//! decode, sense and output components, each a `C · V · ΔV` switching term.
+//! The paper uses this model (§4.1, §4.4) for both the L2 arrays and the
+//! JETTY structures. We implement the same decomposition over a plain
+//! `(rows, cols)` array abstraction; `cacti_lite` layers bank selection on
+//! top.
+
+use crate::tech::TechParams;
+
+/// A flat SRAM array of `rows` word lines by `cols` bit-line pairs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SramArray {
+    /// Word lines.
+    pub rows: usize,
+    /// Bits per row (columns).
+    pub cols: usize,
+}
+
+impl SramArray {
+    /// Creates an array description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "SRAM array dimensions must be nonzero");
+        Self { rows, cols }
+    }
+
+    /// Capacitance of one bit line: every row's cell drain plus wire.
+    fn c_bitline(&self, tech: &TechParams) -> f64 {
+        self.rows as f64 * (tech.c_cell_drain + tech.c_wire_bit) + tech.c_column_overhead
+    }
+
+    /// Capacitance of one word line: every column's cell gates plus wire.
+    /// Each bit cell loads the word line with two access-transistor gates.
+    fn c_wordline(&self, tech: &TechParams) -> f64 {
+        self.cols as f64 * (2.0 * tech.c_cell_gate + tech.c_wire_word)
+    }
+
+    /// Energy of asserting one word line.
+    fn e_wordline(&self, tech: &TechParams) -> f64 {
+        self.c_wordline(tech) * tech.vdd * tech.vdd
+    }
+
+    /// Row-decoder energy, proportional to the decoded address width.
+    fn e_decode(&self, tech: &TechParams) -> f64 {
+        let addr_bits = (self.rows.max(2) as f64).log2().ceil();
+        addr_bits * tech.e_decode_per_bit
+    }
+
+    /// Energy of one read access: precharge + limited-swing discharge on
+    /// every bit-line pair, word-line assertion, decode, sense amps, and
+    /// output drivers for every bit read.
+    pub fn read_energy(&self, tech: &TechParams) -> f64 {
+        let e_bitlines =
+            self.cols as f64 * self.c_bitline(tech) * tech.vdd * tech.v_swing_read;
+        let e_sense = self.cols as f64 * tech.e_sense_amp;
+        let e_out = self.cols as f64 * tech.e_output_per_bit;
+        e_bitlines + self.e_wordline(tech) + self.e_decode(tech) + e_sense + e_out
+    }
+
+    /// Energy of one write access: larger-swing drive on every bit-line
+    /// pair, word-line assertion and decode (no sense amps, no output).
+    pub fn write_energy(&self, tech: &TechParams) -> f64 {
+        let e_bitlines =
+            self.cols as f64 * self.c_bitline(tech) * tech.vdd * tech.v_swing_write;
+        e_bitlines + self.e_wordline(tech) + self.e_decode(tech)
+    }
+
+    /// Total storage in bits.
+    pub fn bits(&self) -> usize {
+        self.rows * self.cols
+    }
+}
+
+/// A fully associative match array (CAM), used for the writeback buffer:
+/// every entry compares its tag against the snooped address in parallel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CamArray {
+    /// Number of entries.
+    pub entries: usize,
+    /// Tag bits per entry.
+    pub tag_bits: usize,
+}
+
+impl CamArray {
+    /// Creates a CAM description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(entries: usize, tag_bits: usize) -> Self {
+        assert!(entries > 0 && tag_bits > 0, "CAM dimensions must be nonzero");
+        Self { entries, tag_bits }
+    }
+
+    /// Energy of one associative probe: every entry's comparator switches.
+    pub fn probe_energy(&self, tech: &TechParams) -> f64 {
+        self.entries as f64 * self.tag_bits as f64 * tech.e_cam_compare_per_bit
+    }
+
+    /// Energy of inserting an entry (one row write).
+    pub fn write_energy(&self, tech: &TechParams) -> f64 {
+        SramArray::new(self.entries, self.tag_bits).write_energy(tech)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> TechParams {
+        TechParams::default()
+    }
+
+    #[test]
+    fn bigger_arrays_cost_more_to_read() {
+        let small = SramArray::new(32, 32);
+        let big = SramArray::new(1024, 128);
+        assert!(big.read_energy(&tech()) > small.read_energy(&tech()));
+    }
+
+    #[test]
+    fn writes_cost_more_than_reads_but_bounded() {
+        // Write swing is twice the read swing, so per-access writes land
+        // between 1x and 3x reads for wide arrays.
+        let a = SramArray::new(1024, 256);
+        let w = a.write_energy(&tech());
+        let r = a.read_energy(&tech());
+        assert!(w > r, "write {w} <= read {r}");
+        assert!(w < 3.0 * r, "write {w} implausibly above read {r}");
+    }
+
+    #[test]
+    fn energy_scales_roughly_linearly_with_columns() {
+        let narrow = SramArray::new(256, 32);
+        let wide = SramArray::new(256, 64);
+        let r = wide.read_energy(&tech()) / narrow.read_energy(&tech());
+        assert!(r > 1.8 && r < 2.2, "column scaling ratio {r}");
+    }
+
+    #[test]
+    fn energy_grows_with_rows() {
+        let short = SramArray::new(128, 64);
+        let tall = SramArray::new(4096, 64);
+        assert!(tall.read_energy(&tech()) > 2.0 * short.read_energy(&tech()));
+    }
+
+    #[test]
+    fn l2_scale_access_lands_in_expected_range() {
+        // A 1 MB data array, unbanked: 16384 rows x 512 cols. Expect
+        // several nJ per access (the point of banking).
+        let a = SramArray::new(16384, 512);
+        let e = a.read_energy(&tech());
+        assert!(e > 1.0e-9 && e < 100.0e-9, "unbanked L2 read {e} J");
+    }
+
+    #[test]
+    fn register_file_scale_access_is_small() {
+        // A 32x32 JETTY p-bit array should cost ~O(1 pJ).
+        let a = SramArray::new(32, 32);
+        let e = a.read_energy(&tech());
+        assert!(e > 0.1e-12 && e < 10.0e-12, "register-file read {e} J");
+    }
+
+    #[test]
+    fn cam_probe_scales_with_entries() {
+        let small = CamArray::new(4, 35);
+        let big = CamArray::new(16, 35);
+        let ratio = big.probe_energy(&tech()) / small.probe_energy(&tech());
+        assert!((ratio - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cam_probe_is_cheap() {
+        // The WB probe must be negligible next to an L2 tag access, or the
+        // paper's "WB is always probed" choice wouldn't make sense.
+        let wb = CamArray::new(8, 35);
+        assert!(wb.probe_energy(&tech()) < 5.0e-12);
+    }
+
+    #[test]
+    fn bits_accounting() {
+        assert_eq!(SramArray::new(16, 16).bits(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_dimension_rejected() {
+        let _ = SramArray::new(0, 8);
+    }
+}

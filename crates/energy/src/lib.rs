@@ -1,0 +1,58 @@
+//! # jetty-energy — cache energy models for the JETTY reproduction
+//!
+//! Everything the paper needs to turn event counts into energy:
+//!
+//! * [`kamble_ghose`]: the Kamble–Ghose analytical SRAM/CAM access-energy
+//!   model (bit lines, word lines, decode, sense, output) the paper uses
+//!   for both the L2 and the JETTY structures;
+//! * [`cacti_lite`]: CACTI-style energy-minimising array banking ("we used
+//!   CACTI to determine the optimal number of banks", §4.1);
+//! * [`cache_energy`]: per-event energies (tag probe, tag write, subblock/
+//!   block data read/write) for a cache geometry, plus the writeback-buffer
+//!   CAM;
+//! * [`analytic`]: the Appendix-A closed-form model behind Figure 2;
+//! * [`xeon`]: the published Xeon power breakdown of Table 1;
+//! * [`accounting`]: full-run accounting producing Figure 6's energy
+//!   reductions from simulator statistics, for serial and parallel L2
+//!   organisations.
+//!
+//! ## Example: the paper's headline energy number
+//!
+//! ```
+//! use jetty_core::FilterSpec;
+//! use jetty_energy::{AccessMode, SmpEnergyModel};
+//! use jetty_sim::{Op, System, SystemConfig};
+//!
+//! // Simulate a small disjoint workload with the paper's best hybrid.
+//! let spec = FilterSpec::hybrid_scalar(10, 4, 7, 32, 4);
+//! let mut smp = System::new(SystemConfig::paper_4way(), &[spec]);
+//! for i in 0..1000u64 {
+//!     let cpu = (i % 4) as usize;
+//!     smp.access(cpu, Op::Read, 0x40_0000 * cpu as u64 + (i / 4) * 32);
+//! }
+//!
+//! let model = SmpEnergyModel::paper_node();
+//! let run = smp.run_stats();
+//! let report = &smp.filter_reports()[0];
+//! let saved = model.total_energy_reduction(&run, report, AccessMode::Serial);
+//! assert!(saved > 0.0); // JETTY pays for itself on snoop-miss-heavy runs
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accounting;
+pub mod analytic;
+pub mod cacti_lite;
+pub mod cache_energy;
+pub mod kamble_ghose;
+pub mod tech;
+pub mod xeon;
+
+pub use accounting::{AccessMode, EnergyBreakdown, SmpEnergyModel};
+pub use analytic::{figure2_panel, AnalyticInputs, Figure2Curve, Figure2Panel};
+pub use cacti_lite::{optimize_array, BankedArray};
+pub use cache_energy::{CacheEnergy, CacheGeometry, WbEnergy};
+pub use kamble_ghose::{CamArray, SramArray};
+pub use tech::TechParams;
+pub use xeon::{table1_rows, XeonRow};

@@ -1,0 +1,107 @@
+//! Technology parameters for the energy model.
+//!
+//! The paper assumes a 0.18 µm CMOS process at 1.8 V with the interconnect
+//! characteristics of Cong et al. [5]. The constants below are
+//! representative published values for that generation; the absolute
+//! numbers matter less than their ratios (the paper reports only relative
+//! energies), but they are kept in real units (farads, volts, joules) so
+//! per-access energies land in the right order of magnitude
+//! (~100 pJ–1 nJ for a 1 MB L2 access, a few pJ for a register-file-sized
+//! JETTY array).
+
+/// Process/circuit constants used by the Kamble–Ghose formulas.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TechParams {
+    /// Supply voltage (V).
+    pub vdd: f64,
+    /// Bit-line voltage swing on reads (V); sense amplifiers let reads use
+    /// a reduced swing.
+    pub v_swing_read: f64,
+    /// Effective bit-line voltage swing on writes (V); write drivers swing
+    /// one line of each differential pair, giving roughly twice the read
+    /// energy per bit.
+    pub v_swing_write: f64,
+    /// Drain capacitance one cell adds to its bit line (F).
+    pub c_cell_drain: f64,
+    /// Gate capacitance one cell presents to its word line (F).
+    pub c_cell_gate: f64,
+    /// Bit-line wire capacitance per cell pitch (F).
+    pub c_wire_bit: f64,
+    /// Word-line wire capacitance per cell pitch (F).
+    pub c_wire_word: f64,
+    /// Precharge + column circuitry capacitance per bit-line pair (F).
+    pub c_column_overhead: f64,
+    /// Energy of one sense amplifier activation (J).
+    pub e_sense_amp: f64,
+    /// Decoder + driver energy per decoded row address bit (J).
+    pub e_decode_per_bit: f64,
+    /// Output driver energy per bit leaving the array (J).
+    pub e_output_per_bit: f64,
+    /// Energy per bit for a CAM match-line comparison (J).
+    pub e_cam_compare_per_bit: f64,
+    /// Energy of one bank-select/routing stage (per doubling of the bank
+    /// count); this is what makes over-banking unprofitable for small
+    /// arrays.
+    pub e_bank_stage: f64,
+}
+
+impl TechParams {
+    /// The paper's process: 0.18 µm at 1.8 V.
+    pub fn process_180nm() -> Self {
+        Self {
+            vdd: 1.8,
+            v_swing_read: 0.4,
+            v_swing_write: 0.45,
+            c_cell_drain: 2.0e-15,
+            c_cell_gate: 1.8e-15,
+            c_wire_bit: 1.0e-15,
+            c_wire_word: 1.2e-15,
+            c_column_overhead: 40.0e-15,
+            e_sense_amp: 0.05e-12,
+            e_decode_per_bit: 0.04e-12,
+            e_output_per_bit: 0.02e-12,
+            e_cam_compare_per_bit: 0.01e-12,
+            e_bank_stage: 2.0e-12,
+        }
+    }
+}
+
+impl Default for TechParams {
+    fn default() -> Self {
+        Self::process_180nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_180nm() {
+        let t = TechParams::default();
+        assert_eq!(t, TechParams::process_180nm());
+        assert!((t.vdd - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn swings_are_ordered() {
+        let t = TechParams::default();
+        assert!(t.v_swing_read < t.v_swing_write);
+        assert!(t.v_swing_write < t.vdd);
+        assert!(t.v_swing_read > 0.0);
+    }
+
+    #[test]
+    fn capacitances_are_femtofarad_scale() {
+        let t = TechParams::default();
+        for c in [t.c_cell_drain, t.c_cell_gate, t.c_wire_bit, t.c_wire_word] {
+            assert!(c > 1e-16 && c < 1e-13, "capacitance {c} out of range");
+        }
+    }
+
+    #[test]
+    fn bank_stage_is_picojoule_scale() {
+        let t = TechParams::default();
+        assert!(t.e_bank_stage > 1e-13 && t.e_bank_stage < 1e-11);
+    }
+}

@@ -1,0 +1,85 @@
+//! Table 1 of the paper: peak-power breakdown of the 400 MHz Intel
+//! Pentium II Xeon, whose L2 is built from external custom SRAMs, making
+//! separate core/L2/pad power figures available (sources [6], [9] of the
+//! paper).
+//!
+//! The absolute watts are published data; the two fraction columns are
+//! derived. `jetty-repro table1` recomputes and prints the full table.
+
+/// One row of Table 1.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct XeonRow {
+    /// L2 size in kilobytes.
+    pub l2_kbytes: usize,
+    /// Core peak power (W).
+    pub core_w: f64,
+    /// L2 array peak power (W).
+    pub l2_w: f64,
+    /// L2 pad peak power (W).
+    pub l2_pads_w: f64,
+}
+
+impl XeonRow {
+    /// L2 power as a fraction of total (core + L2 + pads) — the paper's
+    /// "L2" column (pads included in the denominator).
+    pub fn l2_fraction(&self) -> f64 {
+        self.l2_w / (self.core_w + self.l2_w + self.l2_pads_w)
+    }
+
+    /// L2 power as a fraction of core + L2, excluding pads — the paper's
+    /// "L2 w/o pads" column, a proxy for an on-chip L2.
+    pub fn l2_fraction_without_pads(&self) -> f64 {
+        self.l2_w / (self.core_w + self.l2_w)
+    }
+}
+
+/// The three rows of Table 1 (512 KB / 1 MB / 2 MB parts).
+pub fn table1_rows() -> [XeonRow; 3] {
+    [
+        XeonRow { l2_kbytes: 512, core_w: 23.3, l2_w: 4.5, l2_pads_w: 3.0 },
+        XeonRow { l2_kbytes: 1024, core_w: 23.3, l2_w: 9.0, l2_pads_w: 6.0 },
+        XeonRow { l2_kbytes: 2048, core_w: 23.3, l2_w: 18.0, l2_pads_w: 12.0 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_match_paper_percentages() {
+        let rows = table1_rows();
+        // Paper: 14%/16%, 23%/28%, 34%/43%.
+        let expected = [(0.14, 0.16), (0.23, 0.28), (0.34, 0.43)];
+        for (row, (l2, l2_np)) in rows.iter().zip(expected) {
+            assert!(
+                (row.l2_fraction() - l2).abs() < 0.01,
+                "{}K: got {:.3}, paper {l2}",
+                row.l2_kbytes,
+                row.l2_fraction()
+            );
+            assert!(
+                (row.l2_fraction_without_pads() - l2_np).abs() < 0.01,
+                "{}K w/o pads: got {:.3}, paper {l2_np}",
+                row.l2_kbytes,
+                row.l2_fraction_without_pads()
+            );
+        }
+    }
+
+    #[test]
+    fn l2_share_grows_with_l2_size() {
+        let rows = table1_rows();
+        assert!(rows[0].l2_fraction() < rows[1].l2_fraction());
+        assert!(rows[1].l2_fraction() < rows[2].l2_fraction());
+    }
+
+    #[test]
+    fn one_megabyte_part_matches_headline_numbers() {
+        // The paper's headline: "For the 1Mbyte part, the L2 (data + tags)
+        // accounts for 23% of overall peak power ... rises to 28%".
+        let row = table1_rows()[1];
+        assert!((row.l2_fraction() - 0.235).abs() < 0.01);
+        assert!((row.l2_fraction_without_pads() - 0.279).abs() < 0.01);
+    }
+}

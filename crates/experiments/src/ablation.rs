@@ -1,0 +1,102 @@
+//! Ablation studies for the design choices the paper makes but does not
+//! sweep:
+//!
+//! * **IJ index overlap** — the paper states that partially overlapped
+//!   sub-array indices (skip < index width) are more accurate than
+//!   disjoint slices but leaves the sweep as beyond scope (§3.2);
+//!   [`ij_skip_ablation`] runs it.
+//! * **HJ EJ-allocation policy** — the paper allocates EJ entries only for
+//!   snoops the IJ failed to filter (§3.3); [`hj_policy_ablation`]
+//!   compares that against eagerly allocating on every guaranteed miss,
+//!   reporting both coverage and the EJ write traffic the eager policy
+//!   spends.
+
+use jetty_core::FilterSpec;
+
+use crate::report::{pct, Table};
+use crate::runner::{average, run_suite, AppRun, RunOptions};
+
+/// Sweeps the Include-Jetty index skip from heavy overlap to disjoint
+/// slices (IJ-8x4xS, S in {2, 4, 6, 8}; S = 8 is disjoint) and reports
+/// average coverage across the suite.
+pub fn ij_skip_ablation(scale: f64) -> Table {
+    let skips = [2u32, 4, 6, 8];
+    let specs: Vec<FilterSpec> = skips.iter().map(|&s| FilterSpec::include(8, 4, s)).collect();
+    let options = RunOptions::paper().with_scale(scale).with_specs(specs.clone());
+    let runs = run_suite(&options);
+
+    let mut t = Table::new("Ablation: IJ index overlap (IJ-8x4xS; S=8 disjoint, paper uses overlap)");
+    let mut headers = vec!["App".to_string()];
+    headers.extend(specs.iter().map(FilterSpec::label));
+    t.headers(headers);
+    for r in &runs {
+        let mut row = vec![r.profile.abbrev.to_string()];
+        row.extend(specs.iter().map(|s| pct(r.coverage(&s.label()))));
+        t.row(row);
+    }
+    let mut avg = vec!["AVG".to_string()];
+    avg.extend(specs.iter().map(|s| pct(average(&runs, |r| r.coverage(&s.label())))));
+    t.row(avg);
+    t
+}
+
+/// EJ write traffic of one hybrid configuration over a run (the cost the
+/// eager policy pays), summed across nodes. The EJ tag store is the last
+/// array of a hybrid's array list.
+fn ej_writes(run: &AppRun, label: &str) -> u64 {
+    let report = run.report(label).expect("configuration missing from bank");
+    report
+        .activities
+        .iter()
+        .map(|a| a.arrays.last().map_or(0, |arr| arr.writes))
+        .sum()
+}
+
+/// Compares the paper's backup EJ-allocation policy against the eager
+/// variant on (IJ-9x4x7, EJ-32x4).
+pub fn hj_policy_ablation(scale: f64) -> Table {
+    let backup = FilterSpec::hybrid_scalar(9, 4, 7, 32, 4);
+    let eager = FilterSpec::hybrid_scalar_eager(9, 4, 7, 32, 4);
+    let options =
+        RunOptions::paper().with_scale(scale).with_specs(vec![backup, eager]);
+    let runs = run_suite(&options);
+
+    let mut t = Table::new("Ablation: HJ EJ-allocation policy (backup = paper)");
+    t.headers(["App", "backup cov", "eager cov", "backup EJ writes", "eager EJ writes"]);
+    for r in &runs {
+        t.row([
+            r.profile.abbrev.to_string(),
+            pct(r.coverage(&backup.label())),
+            pct(r.coverage(&eager.label())),
+            format!("{}", ej_writes(r, &backup.label())),
+            format!("{}", ej_writes(r, &eager.label())),
+        ]);
+    }
+    t.row([
+        "AVG".to_string(),
+        pct(average(&runs, |r| r.coverage(&backup.label()))),
+        pct(average(&runs, |r| r.coverage(&eager.label()))),
+        String::new(),
+        String::new(),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ij_skip_ablation_runs() {
+        let t = ij_skip_ablation(0.002);
+        assert_eq!(t.len(), 11); // 10 apps + AVG
+        assert!(t.render().contains("IJ-8x4x8"));
+    }
+
+    #[test]
+    fn hj_policy_ablation_runs() {
+        let t = hj_policy_ablation(0.002);
+        assert_eq!(t.len(), 11);
+        assert!(t.render().contains("eager"));
+    }
+}

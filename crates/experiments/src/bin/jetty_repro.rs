@@ -1,0 +1,177 @@
+//! `jetty-repro` — regenerates every table and figure of the JETTY paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! jetty-repro [COMMANDS...] [--scale X] [--cpus N] [--csv DIR] [--check]
+//! ```
+//!
+//! Commands: `all`, `table1`, `fig2`, `table2`, `table3`, `table4`,
+//! `fig4a`, `fig4b`, `fig5a`, `fig5b`, `fig6`, `smp8`, `nsb`,
+//! `calibrate`, `ablation`. Default: `all`.
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use jetty_experiments::figures::{self, Fig6Panel};
+use jetty_experiments::report::Table;
+use jetty_experiments::runner::{run_suite, AppRun, RunOptions};
+use jetty_experiments::{ablation, tables};
+
+struct Cli {
+    commands: Vec<String>,
+    scale: f64,
+    cpus: usize,
+    csv_dir: Option<PathBuf>,
+    check: bool,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut cli = Cli { commands: Vec::new(), scale: 1.0, cpus: 4, csv_dir: None, check: false };
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().ok_or("--scale needs a value")?;
+                cli.scale = v.parse().map_err(|_| format!("bad scale: {v}"))?;
+                if cli.scale <= 0.0 {
+                    return Err("scale must be positive".into());
+                }
+            }
+            "--cpus" => {
+                let v = args.next().ok_or("--cpus needs a value")?;
+                cli.cpus = v.parse().map_err(|_| format!("bad cpu count: {v}"))?;
+            }
+            "--csv" => {
+                let v = args.next().ok_or("--csv needs a directory")?;
+                cli.csv_dir = Some(PathBuf::from(v));
+            }
+            "--check" => cli.check = true,
+            "--help" | "-h" => {
+                println!(
+                    "jetty-repro [COMMANDS...] [--scale X] [--cpus N] [--csv DIR] [--check]\n\
+                     commands: all table1 fig2 table2 table3 table4 fig4a fig4b fig5a fig5b \
+                     fig6 smp8 nsb calibrate ablation"
+                );
+                std::process::exit(0);
+            }
+            cmd if !cmd.starts_with('-') => cli.commands.push(cmd.to_string()),
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    if cli.commands.is_empty() {
+        cli.commands.push("all".to_string());
+    }
+    Ok(cli)
+}
+
+/// Commands that need a full 4-way suite run.
+const SUITE_COMMANDS: &[&str] =
+    &["all", "table2", "table3", "fig4a", "fig4b", "fig5a", "fig5b", "fig6"];
+
+fn emit(cli: &Cli, name: &str, table: &Table) {
+    println!("{}", table.render());
+    if let Some(dir) = &cli.csv_dir {
+        if let Err(e) = fs::create_dir_all(dir)
+            .and_then(|()| fs::write(dir.join(format!("{name}.csv")), table.to_csv()))
+        {
+            eprintln!("warning: failed to write {name}.csv: {e}");
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args() {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let wants = |cmd: &str| cli.commands.iter().any(|c| c == cmd || c == "all");
+
+    // One 4-way suite pass feeds every workload-driven table/figure.
+    let needs_suite = SUITE_COMMANDS.iter().any(|c| wants(c)) || wants("calibrate");
+    let suite: Vec<AppRun> = if needs_suite {
+        let mut options = RunOptions::paper().with_scale(cli.scale).with_cpus(cli.cpus);
+        options.check = cli.check;
+        let started = Instant::now();
+        let runs = run_suite(&options);
+        let refs: u64 = runs.iter().map(|r| r.refs).sum();
+        eprintln!(
+            "[suite: {} apps, {:.1}M refs, {} filter configs, {:.1}s]",
+            runs.len(),
+            refs as f64 / 1e6,
+            options.specs.len(),
+            started.elapsed().as_secs_f64()
+        );
+        runs
+    } else {
+        Vec::new()
+    };
+
+    if wants("table1") {
+        emit(&cli, "table1", &tables::table1());
+    }
+    if wants("fig2") {
+        emit(&cli, "fig2_32B", &figures::fig2(32, 10));
+        emit(&cli, "fig2_64B", &figures::fig2(64, 10));
+    }
+    if wants("table2") {
+        emit(&cli, "table2", &tables::table2(&suite));
+    }
+    if wants("table3") {
+        emit(&cli, "table3", &tables::table3(&suite));
+    }
+    if wants("fig4a") {
+        emit(&cli, "fig4a", &figures::fig4a(&suite));
+    }
+    if wants("fig4b") {
+        emit(&cli, "fig4b", &figures::fig4b(&suite));
+    }
+    if wants("fig5a") {
+        emit(&cli, "fig5a", &figures::fig5a(&suite));
+    }
+    if wants("fig5b") {
+        emit(&cli, "fig5b", &figures::fig5b(&suite));
+    }
+    if wants("table4") {
+        emit(&cli, "table4", &tables::table4());
+    }
+    if wants("fig6") {
+        for (name, panel) in [
+            ("fig6a", Fig6Panel::SnoopSerial),
+            ("fig6b", Fig6Panel::AllSerial),
+            ("fig6c", Fig6Panel::SnoopParallel),
+            ("fig6d", Fig6Panel::AllParallel),
+        ] {
+            emit(&cli, name, &figures::fig6(&suite, panel));
+        }
+    }
+    if wants("calibrate") {
+        emit(&cli, "calibration", &tables::calibration(&suite));
+    }
+    if wants("smp8") {
+        let mut options = RunOptions::paper().with_scale(cli.scale).with_cpus(8);
+        options.check = cli.check;
+        let runs = run_suite(&options);
+        emit(&cli, "smp8", &figures::smp8_summary(&runs));
+    }
+    if wants("nsb") {
+        let mut options = RunOptions::paper().with_scale(cli.scale);
+        options.non_subblocked = true;
+        options.check = cli.check;
+        let runs = run_suite(&options);
+        emit(&cli, "nsb", &figures::nsb_summary(&runs));
+    }
+    if wants("ablation") {
+        emit(&cli, "ablation_ij_skip", &ablation::ij_skip_ablation(cli.scale));
+        emit(&cli, "ablation_hj_policy", &ablation::hj_policy_ablation(cli.scale));
+    }
+
+    ExitCode::SUCCESS
+}

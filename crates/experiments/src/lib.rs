@@ -1,0 +1,36 @@
+//! # jetty-experiments — the reproduction harness
+//!
+//! One function per table and figure of the paper, all driven from a single
+//! simulation pass per application (the filter bank makes every
+//! configuration a bystander of the same trace). The `jetty-repro` binary
+//! exposes each as a subcommand:
+//!
+//! ```text
+//! jetty-repro all            # everything below, in paper order
+//! jetty-repro table1         # Xeon power breakdown
+//! jetty-repro fig2           # analytic snoop-miss energy model
+//! jetty-repro table2 table3  # workload characteristics + snoop distribution
+//! jetty-repro fig4a fig4b    # EJ / VEJ coverage
+//! jetty-repro fig5a fig5b    # IJ / HJ coverage
+//! jetty-repro table4         # IJ storage
+//! jetty-repro fig6           # energy reductions (4 panels)
+//! jetty-repro smp8           # 8-way summary (§4.3.4)
+//! jetty-repro nsb            # non-subblocked summary
+//! jetty-repro calibrate      # measured-vs-paper deltas
+//! jetty-repro ablation       # IJ index-overlap + HJ allocation-policy studies
+//! ```
+//!
+//! Pass `--scale 0.1` for a 10x shorter run, `--cpus 8` for the 8-way
+//! configuration, `--csv DIR` to also dump CSV files.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod figures;
+pub mod report;
+pub mod runner;
+pub mod tables;
+
+pub use report::Table;
+pub use runner::{average, run_app, run_suite, AppRun, RunOptions};

@@ -1,0 +1,177 @@
+//! Plain-text table rendering for experiment output.
+//!
+//! Every table and figure of the paper is regenerated as an aligned text
+//! table (plus optional CSV) so runs can be diffed and pasted into
+//! EXPERIMENTS.md.
+
+use std::fmt::Write as _;
+
+/// A fixed-width text table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title line.
+    pub fn new(title: impl Into<String>) -> Self {
+        Self { title: title.into(), headers: Vec::new(), rows: Vec::new() }
+    }
+
+    /// Sets the header cells.
+    pub fn headers<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.headers = cells.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width (when headers
+    /// were set) — mismatched tables are bugs in the harness.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        if !self.headers.is_empty() {
+            assert_eq!(
+                row.len(),
+                self.headers.len(),
+                "row width {} != header width {} in table {:?}",
+                row.len(),
+                self.headers.len(),
+                self.title
+            );
+        }
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; ncols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        if !self.headers.is_empty() {
+            out.push_str(&render_row(&self.headers, &widths));
+            let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+            out.push_str(&render_row(&rule, &widths));
+        }
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+        }
+        out
+    }
+
+    /// Renders the table as CSV (title omitted).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        if !self.headers.is_empty() {
+            let _ = writeln!(out, "{}", self.headers.join(","));
+        }
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+}
+
+fn render_row(cells: &[String], widths: &[usize]) -> String {
+    let mut line = String::new();
+    for (i, cell) in cells.iter().enumerate() {
+        if i > 0 {
+            line.push_str("  ");
+        }
+        let _ = write!(line, "{:>width$}", cell, width = widths[i]);
+    }
+    line.push('\n');
+    line
+}
+
+/// Formats a fraction as a percentage with one decimal (e.g. `47.1%`).
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Formats a count in millions with one decimal (e.g. `47.1M`).
+pub fn millions(x: u64) -> String {
+    format!("{:.1}M", x as f64 / 1.0e6)
+}
+
+/// Formats bytes in megabytes with one decimal.
+pub fn mbytes(x: u64) -> String {
+    format!("{:.1}MB", x as f64 / (1024.0 * 1024.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo");
+        t.headers(["app", "value"]);
+        t.row(["ba", "47.1%"]);
+        t.row(["unstructured", "3.0%"]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("unstructured"));
+        // Columns align: every line has the same position for the last char.
+        let lines: Vec<&str> = s.lines().skip(1).collect();
+        let lens: Vec<usize> = lines.iter().map(|l| l.len()).collect();
+        assert!(lens.windows(2).all(|w| w[0] == w[1]), "{lens:?}");
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let mut t = Table::new("demo");
+        t.headers(["a", "b"]);
+        t.row(["1", "2"]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("demo");
+        t.headers(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.471), "47.1%");
+        assert_eq!(millions(47_100_000), "47.1M");
+        assert_eq!(mbytes(57 * 1024 * 1024 + 400 * 1024), "57.4MB");
+    }
+}

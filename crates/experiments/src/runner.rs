@@ -1,0 +1,206 @@
+//! Simulation runner: executes one application (or the whole suite) with a
+//! bank of filter configurations attached and collects everything the
+//! tables and figures need.
+//!
+//! Filters never change protocol behaviour, so a single run per application
+//! yields coverage and energy-activity for *every* configuration in the
+//! bank over an identical reference stream — the same methodology the paper
+//! uses (all organisations evaluated on the same traces).
+
+use jetty_core::FilterSpec;
+use jetty_sim::{FilterReport, RunStats, System, SystemConfig};
+use jetty_workloads::{apps, AppProfile, TraceGen};
+
+/// Options for a reproduction run.
+#[derive(Clone, Debug)]
+pub struct RunOptions {
+    /// Processors on the bus (4 for the base tables, 8 for §4.3.4).
+    pub cpus: usize,
+    /// Trace-length multiplier over each profile's default.
+    pub scale: f64,
+    /// Enable full runtime checking (slower; tests use it, experiment runs
+    /// rely on the always-on filter-safety assertion).
+    pub check: bool,
+    /// Filter configurations to attach to every node.
+    pub specs: Vec<FilterSpec>,
+    /// Use the non-subblocked L2 variant.
+    pub non_subblocked: bool,
+}
+
+impl RunOptions {
+    /// The paper's default evaluation: 4-way SMP, full filter bank.
+    pub fn paper() -> Self {
+        Self {
+            cpus: 4,
+            scale: 1.0,
+            check: false,
+            specs: FilterSpec::paper_bank(),
+            non_subblocked: false,
+        }
+    }
+
+    /// Scales the trace length (for quick runs and benches).
+    pub fn with_scale(mut self, scale: f64) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Sets the CPU count.
+    pub fn with_cpus(mut self, cpus: usize) -> Self {
+        self.cpus = cpus;
+        self
+    }
+
+    /// Replaces the filter bank.
+    pub fn with_specs(mut self, specs: Vec<FilterSpec>) -> Self {
+        self.specs = specs;
+        self
+    }
+
+    fn system_config(&self) -> SystemConfig {
+        let mut config = if self.non_subblocked {
+            SystemConfig::paper_4way_nsb()
+        } else {
+            SystemConfig::paper_4way()
+        };
+        config.cpus = self.cpus;
+        if !self.check {
+            config = config.without_checks();
+        }
+        config
+    }
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Everything collected from one application run.
+#[derive(Clone, Debug)]
+pub struct AppRun {
+    /// The workload profile (including the paper's targets).
+    pub profile: AppProfile,
+    /// Allocated footprint in bytes.
+    pub footprint: u64,
+    /// References executed.
+    pub refs: u64,
+    /// Aggregated statistics.
+    pub run: RunStats,
+    /// One report per filter spec, in bank order.
+    pub reports: Vec<FilterReport>,
+}
+
+impl AppRun {
+    /// Finds the report for a given configuration label.
+    pub fn report(&self, label: &str) -> Option<&FilterReport> {
+        self.reports.iter().find(|r| r.label == label)
+    }
+
+    /// Coverage of a configuration by label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is not in the bank (harness bug).
+    pub fn coverage(&self, label: &str) -> f64 {
+        self.report(label)
+            .unwrap_or_else(|| panic!("configuration {label} not in the bank"))
+            .coverage()
+    }
+}
+
+/// Runs one application.
+pub fn run_app(profile: &AppProfile, options: &RunOptions) -> AppRun {
+    let mut system = System::new(options.system_config(), &options.specs);
+    let generator = TraceGen::new(profile, options.cpus, options.scale);
+    let footprint = generator.footprint();
+    let refs = generator.len();
+    system.run(generator);
+    AppRun {
+        profile: profile.clone(),
+        footprint,
+        refs,
+        run: system.run_stats(),
+        reports: system.filter_reports(),
+    }
+}
+
+/// Runs the full ten-application suite.
+pub fn run_suite(options: &RunOptions) -> Vec<AppRun> {
+    apps::all().iter().map(|p| run_app(p, options)).collect()
+}
+
+/// Weighted-equal average of a metric over a suite (the paper's "AVG"
+/// columns average per-application values, not pooled events).
+pub fn average<F: Fn(&AppRun) -> f64>(runs: &[AppRun], f: F) -> f64 {
+    if runs.is_empty() {
+        return 0.0;
+    }
+    runs.iter().map(&f).sum::<f64>() / runs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_options() -> RunOptions {
+        RunOptions::paper()
+            .with_scale(0.01)
+            .with_specs(vec![FilterSpec::exclude(8, 2), FilterSpec::include(6, 5, 6)])
+    }
+
+    #[test]
+    fn run_app_collects_reports_in_bank_order() {
+        let app = apps::fft();
+        let result = run_app(&app, &quick_options());
+        assert_eq!(result.reports.len(), 2);
+        assert_eq!(result.reports[0].label, "EJ-8x2");
+        assert_eq!(result.reports[1].label, "IJ-6x5x6");
+        assert!(result.refs > 0);
+        assert!(result.footprint > 0);
+        assert!(result.run.nodes.l1_accesses == result.refs);
+    }
+
+    #[test]
+    fn report_lookup_by_label() {
+        let app = apps::lu();
+        let result = run_app(&app, &quick_options());
+        assert!(result.report("EJ-8x2").is_some());
+        assert!(result.report("nope").is_none());
+        let c = result.coverage("IJ-6x5x6");
+        assert!((0.0..=1.0).contains(&c));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the bank")]
+    fn coverage_panics_on_unknown_label() {
+        let app = apps::lu();
+        let result = run_app(&app, &quick_options());
+        let _ = result.coverage("EJ-1024x16");
+    }
+
+    #[test]
+    fn average_helper() {
+        let app = apps::fft();
+        let runs = vec![run_app(&app, &quick_options())];
+        let avg = average(&runs, |r| r.run.nodes.l1_hit_rate());
+        assert!((0.0..=1.0).contains(&avg));
+        assert_eq!(average(&[], |_| 1.0), 0.0);
+    }
+
+    #[test]
+    fn eight_way_run_works() {
+        let options = quick_options().with_cpus(8);
+        let result = run_app(&apps::barnes(), &options);
+        assert_eq!(result.run.system.remote_hit_hist.len(), 8);
+    }
+
+    #[test]
+    fn checked_run_passes_invariants() {
+        let mut options = quick_options();
+        options.check = true;
+        // A sharing-heavy app under full checking: protocol + filters OK.
+        let _ = run_app(&apps::unstructured(), &options);
+    }
+}

@@ -1,0 +1,195 @@
+//! Regenerators for the paper's tables.
+
+use jetty_core::IncludeConfig;
+use jetty_energy::xeon;
+
+use crate::report::{mbytes, millions, pct, Table};
+use crate::runner::{average, AppRun};
+
+/// Table 1: Xeon peak-power breakdown with the derived fraction columns.
+pub fn table1() -> Table {
+    let mut t = Table::new("Table 1: Xeon peak power breakdown (core vs external L2)");
+    t.headers(["L2 size", "Core W", "L2 W", "L2 pads W", "L2 %", "L2 w/o pads %"]);
+    for row in xeon::table1_rows() {
+        t.row([
+            format!("{}K", row.l2_kbytes),
+            format!("{:.1}", row.core_w),
+            format!("{:.1}", row.l2_w),
+            format!("{:.1}", row.l2_pads_w),
+            pct(row.l2_fraction()),
+            pct(row.l2_fraction_without_pads()),
+        ]);
+    }
+    t
+}
+
+/// Table 2: per-application characteristics of the simulated suite, with
+/// the paper's values alongside for calibration transparency.
+pub fn table2(runs: &[AppRun]) -> Table {
+    let mut t = Table::new("Table 2: applications (measured | paper)");
+    t.headers([
+        "App",
+        "Accesses",
+        "MA",
+        "L1 hit",
+        "L1 paper",
+        "L2 hit",
+        "L2 paper",
+        "L2 snoop acc",
+        "snoop paper",
+    ]);
+    for r in runs {
+        let n = &r.run.nodes;
+        t.row([
+            r.profile.abbrev.to_string(),
+            millions(r.refs),
+            mbytes(r.footprint),
+            pct(n.l1_hit_rate()),
+            pct(r.profile.paper.l1_hit),
+            pct(n.l2_local_hit_rate()),
+            pct(r.profile.paper.l2_hit),
+            millions(n.snoops_seen),
+            format!("{}M", r.profile.paper.snoop_accesses_m),
+        ]);
+    }
+    t
+}
+
+/// Table 3: remote-cache-hit distribution and snoop-miss fractions.
+pub fn table3(runs: &[AppRun]) -> Table {
+    let mut t = Table::new("Table 3: snoop hit distribution (measured, paper in parens)");
+    t.headers([
+        "App",
+        "0 hits",
+        "1 hit",
+        "2 hits",
+        "3 hits",
+        "miss %snoops",
+        "miss %all",
+    ]);
+    for r in runs {
+        let fr = r.run.system.remote_hit_fractions();
+        let paper = &r.profile.paper;
+        let cell = |m: f64, p: f64| format!("{} ({})", pct(m), pct(p));
+        t.row([
+            r.profile.abbrev.to_string(),
+            cell(fr.first().copied().unwrap_or(0.0), paper.remote_hits[0]),
+            cell(fr.get(1).copied().unwrap_or(0.0), paper.remote_hits[1]),
+            cell(fr.get(2).copied().unwrap_or(0.0), paper.remote_hits[2]),
+            cell(fr.get(3).copied().unwrap_or(0.0), paper.remote_hits[3]),
+            cell(r.run.snoop_miss_fraction_of_snoops(), paper.snoop_miss_of_snoops),
+            cell(r.run.snoop_miss_fraction_of_all(), paper.snoop_miss_of_all),
+        ]);
+    }
+    let avg = |f: &dyn Fn(&AppRun) -> f64| average(runs, f);
+    t.row([
+        "AVG".to_string(),
+        pct(avg(&|r| r.run.system.remote_hit_fractions().first().copied().unwrap_or(0.0))),
+        pct(avg(&|r| r.run.system.remote_hit_fractions().get(1).copied().unwrap_or(0.0))),
+        pct(avg(&|r| r.run.system.remote_hit_fractions().get(2).copied().unwrap_or(0.0))),
+        pct(avg(&|r| r.run.system.remote_hit_fractions().get(3).copied().unwrap_or(0.0))),
+        pct(avg(&|r| r.run.snoop_miss_fraction_of_snoops())),
+        pct(avg(&|r| r.run.snoop_miss_fraction_of_all())),
+    ]);
+    t
+}
+
+/// Table 4: storage requirements of the IJ configurations.
+pub fn table4() -> Table {
+    let mut t = Table::new("Table 4: Include-Jetty storage (14-bit counters)");
+    t.headers(["IJ", "p-bit bits", "p-bit org", "cnt bits", "total bytes"]);
+    for (e, n, s) in [(10u32, 4u32, 7u32), (9, 4, 7), (8, 4, 7), (7, 5, 6), (6, 5, 6)] {
+        let c = IncludeConfig::new(e, n, s);
+        let (rows, cols) = c.pbit_org();
+        t.row([
+            c.label(),
+            format!("{} x {}", c.sub_arrays, c.entries_per_array()),
+            format!("{} x {}x{}", c.sub_arrays, rows, cols),
+            format!("{}", c.cnt_storage_bits()),
+            format!("{}", c.storage_bytes()),
+        ]);
+    }
+    t
+}
+
+/// Calibration report: every measured statistic against the paper's value,
+/// with absolute deltas — the source for EXPERIMENTS.md.
+pub fn calibration(runs: &[AppRun]) -> Table {
+    let mut t = Table::new("Calibration: measured vs paper (delta in points)");
+    t.headers(["App", "L1 d", "L2 d", "rh0 d", "rh1 d", "rh2 d", "rh3 d", "miss%sn d", "miss%all d"]);
+    let fmt = |m: f64, p: f64| format!("{:+.1}", 100.0 * (m - p));
+    for r in runs {
+        let n = &r.run.nodes;
+        let fr = r.run.system.remote_hit_fractions();
+        let paper = &r.profile.paper;
+        t.row([
+            r.profile.abbrev.to_string(),
+            fmt(n.l1_hit_rate(), paper.l1_hit),
+            fmt(n.l2_local_hit_rate(), paper.l2_hit),
+            fmt(fr.first().copied().unwrap_or(0.0), paper.remote_hits[0]),
+            fmt(fr.get(1).copied().unwrap_or(0.0), paper.remote_hits[1]),
+            fmt(fr.get(2).copied().unwrap_or(0.0), paper.remote_hits[2]),
+            fmt(fr.get(3).copied().unwrap_or(0.0), paper.remote_hits[3]),
+            fmt(r.run.snoop_miss_fraction_of_snoops(), paper.snoop_miss_of_snoops),
+            fmt(r.run.snoop_miss_fraction_of_all(), paper.snoop_miss_of_all),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_app, RunOptions};
+    use jetty_core::FilterSpec;
+    use jetty_workloads::apps;
+
+    fn tiny_runs() -> Vec<AppRun> {
+        let options = RunOptions::paper()
+            .with_scale(0.005)
+            .with_specs(vec![FilterSpec::exclude(8, 2)]);
+        vec![run_app(&apps::fft(), &options), run_app(&apps::lu(), &options)]
+    }
+
+    #[test]
+    fn table1_has_three_rows() {
+        let t = table1();
+        assert_eq!(t.len(), 3);
+        let s = t.render();
+        assert!(s.contains("512K") && s.contains("2048K"));
+    }
+
+    #[test]
+    fn table2_row_per_app() {
+        let runs = tiny_runs();
+        let t = table2(&runs);
+        assert_eq!(t.len(), 2);
+        assert!(t.render().contains("ff"));
+    }
+
+    #[test]
+    fn table3_has_average_row() {
+        let runs = tiny_runs();
+        let t = table3(&runs);
+        assert_eq!(t.len(), 3); // 2 apps + AVG
+        assert!(t.render().contains("AVG"));
+    }
+
+    #[test]
+    fn table4_matches_paper_configs() {
+        let t = table4();
+        assert_eq!(t.len(), 5);
+        let s = t.render();
+        assert!(s.contains("IJ-10x4x7"));
+        assert!(s.contains("4 x 32x32"));
+    }
+
+    #[test]
+    fn calibration_prints_deltas() {
+        let runs = tiny_runs();
+        let t = calibration(&runs);
+        assert_eq!(t.len(), 2);
+        let csv = t.to_csv();
+        assert!(csv.lines().count() >= 3);
+    }
+}

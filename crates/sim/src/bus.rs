@@ -1,0 +1,104 @@
+//! Bus transaction kinds for the atomic snoopy bus.
+//!
+//! The bus is modelled as atomic: one transaction completes (request,
+//! snoops, response) before the next begins, so no transient states are
+//! needed in the protocol. This matches the count-based evaluation of the
+//! paper — JETTY changes no timing-visible behaviour, only which structures
+//! are touched.
+
+use std::fmt;
+
+/// Kind of bus transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BusKind {
+    /// Read miss: fetch a copy, others may keep shared copies (`BusRd`).
+    Read,
+    /// Write miss: fetch an exclusive copy, invalidating others (`BusRdX`).
+    ReadExclusive,
+    /// Write hit on a shared copy: invalidate others, no data (`BusUpgr`).
+    Upgrade,
+}
+
+impl BusKind {
+    /// `true` when remote copies must be invalidated.
+    pub fn invalidates(self) -> bool {
+        matches!(self, BusKind::ReadExclusive | BusKind::Upgrade)
+    }
+
+    /// `true` when the requester needs data on the bus.
+    pub fn needs_data(self) -> bool {
+        matches!(self, BusKind::Read | BusKind::ReadExclusive)
+    }
+}
+
+impl fmt::Display for BusKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BusKind::Read => f.write_str("BusRd"),
+            BusKind::ReadExclusive => f.write_str("BusRdX"),
+            BusKind::Upgrade => f.write_str("BusUpgr"),
+        }
+    }
+}
+
+/// Aggregated snoop response for one transaction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SnoopResponse {
+    /// How many remote caches held a valid copy (pre-transition).
+    pub remote_copies: usize,
+    /// Version of the data supplied by a remote owner cache, if any.
+    pub supplied_version: Option<u64>,
+    /// Whether a writeback buffer supplied the data.
+    pub supplied_by_wb: bool,
+}
+
+impl SnoopResponse {
+    /// `true` when any remote cache still holds a copy after the snoop
+    /// (decides Shared vs Exclusive install for reads).
+    pub fn shared(&self) -> bool {
+        self.remote_copies > 0
+    }
+
+    /// `true` when a cache or WB supplied the data (memory stays silent).
+    pub fn cache_supplied(&self) -> bool {
+        self.supplied_version.is_some() || self.supplied_by_wb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalidation_kinds() {
+        assert!(!BusKind::Read.invalidates());
+        assert!(BusKind::ReadExclusive.invalidates());
+        assert!(BusKind::Upgrade.invalidates());
+    }
+
+    #[test]
+    fn data_kinds() {
+        assert!(BusKind::Read.needs_data());
+        assert!(BusKind::ReadExclusive.needs_data());
+        assert!(!BusKind::Upgrade.needs_data());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(BusKind::Read.to_string(), "BusRd");
+        assert_eq!(BusKind::ReadExclusive.to_string(), "BusRdX");
+        assert_eq!(BusKind::Upgrade.to_string(), "BusUpgr");
+    }
+
+    #[test]
+    fn response_flags() {
+        let r = SnoopResponse::default();
+        assert!(!r.shared());
+        assert!(!r.cache_supplied());
+        let r2 = SnoopResponse { remote_copies: 2, supplied_version: Some(7), supplied_by_wb: false };
+        assert!(r2.shared());
+        assert!(r2.cache_supplied());
+        let r3 = SnoopResponse { remote_copies: 0, supplied_version: None, supplied_by_wb: true };
+        assert!(r3.cache_supplied());
+    }
+}

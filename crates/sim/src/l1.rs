@@ -1,0 +1,287 @@
+//! Direct-mapped L1 data cache.
+//!
+//! The L1 is modelled at the granularity of coherence units (its block size
+//! equals the L2 subblock size, so inclusion is a one-to-one mapping).
+//! Coherence state lives in the L2; each L1 block carries only:
+//!
+//! * `valid` / `dirty` bookkeeping, and
+//! * a `writable` permission bit mirroring "the L2 holds this unit in M or
+//!   E", so stores can complete without touching the L2 on the common path.
+//!
+//! The bus side keeps the permission bit truthful: whenever a snoop
+//! downgrades or invalidates an L2 subblock, the system calls
+//! [`L1Cache::downgrade`] / [`L1Cache::invalidate`] on the matching unit.
+
+use jetty_core::UnitAddr;
+
+use crate::config::L1Config;
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    writable: bool,
+}
+
+/// Result of an L1 lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum L1Lookup {
+    /// Block present with write permission.
+    HitWritable,
+    /// Block present, read-only (L2 state is S or O).
+    HitShared,
+    /// Block absent.
+    Miss,
+}
+
+impl L1Lookup {
+    /// `true` for either hit variant.
+    pub fn is_hit(self) -> bool {
+        self != L1Lookup::Miss
+    }
+}
+
+/// A unit evicted from the L1 to make room for a fill.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct L1Victim {
+    /// The evicted coherence unit.
+    pub unit: UnitAddr,
+    /// Whether the evicted block was dirty (requires an L2 data write).
+    pub dirty: bool,
+}
+
+/// Direct-mapped L1 data cache indexed by coherence-unit address.
+#[derive(Clone, Debug)]
+pub struct L1Cache {
+    lines: Vec<Line>,
+    index_mask: u64,
+    index_bits: u32,
+}
+
+impl L1Cache {
+    /// Creates an empty L1.
+    pub fn new(config: L1Config) -> Self {
+        let blocks = config.blocks();
+        Self {
+            lines: vec![Line::default(); blocks],
+            index_mask: blocks as u64 - 1,
+            index_bits: blocks.trailing_zeros(),
+        }
+    }
+
+    fn split(&self, unit: UnitAddr) -> (usize, u64) {
+        let idx = (unit.raw() & self.index_mask) as usize;
+        let tag = unit.raw() >> self.index_bits;
+        (idx, tag)
+    }
+
+    /// Probes the cache for `unit`.
+    pub fn lookup(&self, unit: UnitAddr) -> L1Lookup {
+        let (idx, tag) = self.split(unit);
+        let line = &self.lines[idx];
+        if line.valid && line.tag == tag {
+            if line.writable {
+                L1Lookup::HitWritable
+            } else {
+                L1Lookup::HitShared
+            }
+        } else {
+            L1Lookup::Miss
+        }
+    }
+
+    /// Marks a present unit dirty (store completion). The caller must have
+    /// established write permission.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the unit is absent or not writable — that is a protocol
+    /// bug in the caller.
+    pub fn mark_dirty(&mut self, unit: UnitAddr) {
+        let (idx, tag) = self.split(unit);
+        let line = &mut self.lines[idx];
+        assert!(line.valid && line.tag == tag, "mark_dirty on absent unit {unit}");
+        assert!(line.writable, "mark_dirty without write permission on {unit}");
+        line.dirty = true;
+    }
+
+    /// Grants write permission to a present unit (after a bus upgrade).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the unit is absent.
+    pub fn grant_write(&mut self, unit: UnitAddr) {
+        let (idx, tag) = self.split(unit);
+        let line = &mut self.lines[idx];
+        assert!(line.valid && line.tag == tag, "grant_write on absent unit {unit}");
+        line.writable = true;
+    }
+
+    /// Fills `unit`, returning the victim displaced by the fill (if any).
+    ///
+    /// The caller handles the victim's L2 writeback when it is dirty.
+    pub fn fill(&mut self, unit: UnitAddr, writable: bool) -> Option<L1Victim> {
+        let (idx, tag) = self.split(unit);
+        let line = &mut self.lines[idx];
+        let victim = if line.valid && line.tag != tag {
+            let victim_unit = UnitAddr::new((line.tag << self.index_bits) | idx as u64);
+            Some(L1Victim { unit: victim_unit, dirty: line.dirty })
+        } else {
+            None
+        };
+        *line = Line { tag, valid: true, dirty: false, writable };
+        victim
+    }
+
+    /// Invalidates `unit` if present; returns whether the dropped copy was
+    /// dirty (its data folds into the concurrent L2 writeback/supply).
+    pub fn invalidate(&mut self, unit: UnitAddr) -> bool {
+        let (idx, tag) = self.split(unit);
+        let line = &mut self.lines[idx];
+        if line.valid && line.tag == tag {
+            let was_dirty = line.dirty;
+            *line = Line::default();
+            was_dirty
+        } else {
+            false
+        }
+    }
+
+    /// Revokes write permission on `unit` if present (remote bus read
+    /// downgraded the L2 state out of M/E); returns whether the copy was
+    /// dirty, in which case the data flushes to the L2.
+    pub fn downgrade(&mut self, unit: UnitAddr) -> bool {
+        let (idx, tag) = self.split(unit);
+        let line = &mut self.lines[idx];
+        if line.valid && line.tag == tag {
+            let was_dirty = line.dirty;
+            line.writable = false;
+            line.dirty = false;
+            was_dirty
+        } else {
+            false
+        }
+    }
+
+    /// `true` when the unit is present (any permission).
+    pub fn contains(&self, unit: UnitAddr) -> bool {
+        self.lookup(unit).is_hit()
+    }
+
+    /// Iterates over all valid units (test/checker aid).
+    pub fn valid_units(&self) -> impl Iterator<Item = UnitAddr> + '_ {
+        self.lines.iter().enumerate().filter(|(_, l)| l.valid).map(move |(idx, l)| {
+            UnitAddr::new((l.tag << self.index_bits) | idx as u64)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> L1Cache {
+        // 4 lines of 32 bytes.
+        L1Cache::new(L1Config::new(128, 32))
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut l1 = small();
+        let u = UnitAddr::new(5);
+        assert_eq!(l1.lookup(u), L1Lookup::Miss);
+        assert_eq!(l1.fill(u, false), None);
+        assert_eq!(l1.lookup(u), L1Lookup::HitShared);
+    }
+
+    #[test]
+    fn writable_fill_allows_store() {
+        let mut l1 = small();
+        let u = UnitAddr::new(2);
+        l1.fill(u, true);
+        assert_eq!(l1.lookup(u), L1Lookup::HitWritable);
+        l1.mark_dirty(u);
+    }
+
+    #[test]
+    #[should_panic(expected = "write permission")]
+    fn store_without_permission_panics() {
+        let mut l1 = small();
+        let u = UnitAddr::new(2);
+        l1.fill(u, false);
+        l1.mark_dirty(u);
+    }
+
+    #[test]
+    fn conflict_eviction_reports_victim() {
+        let mut l1 = small();
+        let a = UnitAddr::new(1);
+        let b = UnitAddr::new(1 + 4); // same index, different tag
+        l1.fill(a, true);
+        l1.mark_dirty(a);
+        let victim = l1.fill(b, false).expect("conflict must evict");
+        assert_eq!(victim.unit, a);
+        assert!(victim.dirty);
+        assert!(!l1.contains(a));
+        assert!(l1.contains(b));
+    }
+
+    #[test]
+    fn refill_same_unit_has_no_victim() {
+        let mut l1 = small();
+        let u = UnitAddr::new(3);
+        l1.fill(u, false);
+        assert_eq!(l1.fill(u, true), None);
+        assert_eq!(l1.lookup(u), L1Lookup::HitWritable);
+    }
+
+    #[test]
+    fn invalidate_reports_dirtiness() {
+        let mut l1 = small();
+        let u = UnitAddr::new(7);
+        l1.fill(u, true);
+        l1.mark_dirty(u);
+        assert!(l1.invalidate(u));
+        assert!(!l1.contains(u));
+        // Second invalidate is a no-op.
+        assert!(!l1.invalidate(u));
+    }
+
+    #[test]
+    fn downgrade_revokes_permission_and_flushes() {
+        let mut l1 = small();
+        let u = UnitAddr::new(9);
+        l1.fill(u, true);
+        l1.mark_dirty(u);
+        assert!(l1.downgrade(u));
+        assert_eq!(l1.lookup(u), L1Lookup::HitShared);
+        // No longer dirty after the flush.
+        assert!(!l1.downgrade(u));
+    }
+
+    #[test]
+    fn grant_write_upgrades_shared_copy() {
+        let mut l1 = small();
+        let u = UnitAddr::new(4);
+        l1.fill(u, false);
+        l1.grant_write(u);
+        assert_eq!(l1.lookup(u), L1Lookup::HitWritable);
+    }
+
+    #[test]
+    fn valid_units_enumerates_contents() {
+        let mut l1 = small();
+        l1.fill(UnitAddr::new(0), false);
+        l1.fill(UnitAddr::new(5), false);
+        let mut units: Vec<u64> = l1.valid_units().map(|u| u.raw()).collect();
+        units.sort_unstable();
+        assert_eq!(units, vec![0, 5]);
+    }
+
+    #[test]
+    fn paper_sized_l1_has_2048_lines() {
+        let l1 = L1Cache::new(L1Config::default());
+        assert_eq!(l1.lines.len(), 2048);
+    }
+}

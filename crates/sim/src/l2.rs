@@ -1,0 +1,371 @@
+//! Direct-mapped, subblocked L2 cache with per-subblock MOESI state.
+//!
+//! The tag array holds one tag per block; each block carries one MOESI
+//! state per subblock (two 32-byte subblocks per 64-byte block in the
+//! paper's configuration). Subblocking halves the tag array at the cost of
+//! extra misses when neighbouring subblocks are absent — which is exactly
+//! the snoop-locality the Exclude-Jetty feeds on.
+//!
+//! Each subblock also carries a data *version* used by the coherence
+//! checker: stores stamp the unit with a fresh global version, and fills
+//! copy the supplier's version, so any stale read is caught immediately.
+
+use jetty_core::UnitAddr;
+
+use crate::config::L2Config;
+use crate::moesi::Moesi;
+
+#[derive(Clone, Debug)]
+struct Block {
+    tag: u64,
+    /// Per-subblock coherence state; all-Invalid means the slot is free.
+    states: Vec<Moesi>,
+    /// Per-subblock data version (checker support).
+    versions: Vec<u64>,
+}
+
+impl Block {
+    fn new(subblocks: usize) -> Self {
+        Self { tag: 0, states: vec![Moesi::Invalid; subblocks], versions: vec![0; subblocks] }
+    }
+
+    fn any_valid(&self) -> bool {
+        self.states.iter().any(|s| s.is_valid())
+    }
+}
+
+/// A valid subblock displaced by a block eviction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EvictedUnit {
+    /// The displaced coherence unit.
+    pub unit: UnitAddr,
+    /// Its state at eviction (decides whether a writeback is needed).
+    pub state: Moesi,
+    /// Its data version (checker support).
+    pub version: u64,
+}
+
+/// Direct-mapped subblocked L2 cache.
+#[derive(Clone, Debug)]
+pub struct L2Cache {
+    blocks: Vec<Block>,
+    subblocks: usize,
+    sub_mask: u64,
+    sub_bits: u32,
+    index_mask: u64,
+    index_bits: u32,
+}
+
+impl L2Cache {
+    /// Creates an empty L2.
+    pub fn new(config: L2Config) -> Self {
+        let blocks = config.blocks();
+        let subblocks = config.subblocks;
+        Self {
+            blocks: (0..blocks).map(|_| Block::new(subblocks)).collect(),
+            subblocks,
+            sub_mask: subblocks as u64 - 1,
+            sub_bits: subblocks.trailing_zeros(),
+            index_mask: blocks as u64 - 1,
+            index_bits: blocks.trailing_zeros(),
+        }
+    }
+
+    /// Splits a unit address into (block index, block tag, subblock index).
+    fn split(&self, unit: UnitAddr) -> (usize, u64, usize) {
+        let sub = (unit.raw() & self.sub_mask) as usize;
+        let block_addr = unit.raw() >> self.sub_bits;
+        let idx = (block_addr & self.index_mask) as usize;
+        let tag = block_addr >> self.index_bits;
+        (idx, tag, sub)
+    }
+
+    fn unit_addr(&self, idx: usize, tag: u64, sub: usize) -> UnitAddr {
+        UnitAddr::new((((tag << self.index_bits) | idx as u64) << self.sub_bits) | sub as u64)
+    }
+
+    /// MOESI state of `unit` (`Invalid` when absent or tag mismatch).
+    pub fn state(&self, unit: UnitAddr) -> Moesi {
+        let (idx, tag, sub) = self.split(unit);
+        let block = &self.blocks[idx];
+        if block.any_valid() && block.tag == tag {
+            block.states[sub]
+        } else {
+            Moesi::Invalid
+        }
+    }
+
+    /// `true` when the resident block's tag matches `unit`'s block and at
+    /// least one subblock is valid (a snoop miss with `block_present` is a
+    /// *partial* miss — the tag matched but the snooped subblock is
+    /// invalid, so exclude filters must not record the whole block).
+    pub fn block_present(&self, unit: UnitAddr) -> bool {
+        let (idx, tag, _) = self.split(unit);
+        let block = &self.blocks[idx];
+        block.any_valid() && block.tag == tag
+    }
+
+    /// Data version of `unit`; 0 when absent.
+    pub fn version(&self, unit: UnitAddr) -> u64 {
+        let (idx, tag, sub) = self.split(unit);
+        let block = &self.blocks[idx];
+        if block.any_valid() && block.tag == tag {
+            block.versions[sub]
+        } else {
+            0
+        }
+    }
+
+    /// Sets the MOESI state of a present unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the unit is absent (tag mismatch) — state changes to
+    /// absent units are protocol bugs.
+    pub fn set_state(&mut self, unit: UnitAddr, state: Moesi) {
+        let (idx, tag, sub) = self.split(unit);
+        let block = &mut self.blocks[idx];
+        assert!(
+            block.any_valid() && block.tag == tag && block.states[sub].is_valid(),
+            "set_state on absent unit {unit}"
+        );
+        block.states[sub] = state;
+    }
+
+    /// Stamps a present unit with a new data version (store completion).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the unit is absent.
+    pub fn set_version(&mut self, unit: UnitAddr, version: u64) {
+        let (idx, tag, sub) = self.split(unit);
+        let block = &mut self.blocks[idx];
+        assert!(
+            block.any_valid() && block.tag == tag && block.states[sub].is_valid(),
+            "set_version on absent unit {unit}"
+        );
+        block.versions[sub] = version;
+    }
+
+    /// Invalidates a present unit (snoop invalidation), returning its state
+    /// and version just before.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the unit is absent.
+    pub fn invalidate(&mut self, unit: UnitAddr) -> (Moesi, u64) {
+        let (idx, tag, sub) = self.split(unit);
+        let block = &mut self.blocks[idx];
+        assert!(
+            block.any_valid() && block.tag == tag && block.states[sub].is_valid(),
+            "invalidate on absent unit {unit}"
+        );
+        let prior = (block.states[sub], block.versions[sub]);
+        block.states[sub] = Moesi::Invalid;
+        block.versions[sub] = 0;
+        prior
+    }
+
+    /// Fills `unit` with `state`/`version`.
+    ///
+    /// Returns the valid units evicted to make room: when the resident
+    /// block's tag differs, the *whole* block (every valid subblock) is
+    /// displaced. A fill into a matching resident block evicts nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics when filling a unit that is already valid (the protocol only
+    /// fills on misses) or with an `Invalid` state.
+    pub fn fill(&mut self, unit: UnitAddr, state: Moesi, version: u64) -> Vec<EvictedUnit> {
+        assert!(state.is_valid(), "fill with Invalid state");
+        let (idx, tag, sub) = self.split(unit);
+        let subblocks = self.subblocks;
+        let mut evicted = Vec::new();
+        // Collect victims first to avoid aliasing `self` borrows.
+        let needs_eviction = {
+            let block = &self.blocks[idx];
+            block.any_valid() && block.tag != tag
+        };
+        if needs_eviction {
+            let victim_tag = self.blocks[idx].tag;
+            for s in 0..subblocks {
+                let st = self.blocks[idx].states[s];
+                if st.is_valid() {
+                    evicted.push(EvictedUnit {
+                        unit: self.unit_addr(idx, victim_tag, s),
+                        state: st,
+                        version: self.blocks[idx].versions[s],
+                    });
+                }
+            }
+            let block = &mut self.blocks[idx];
+            block.states.fill(Moesi::Invalid);
+            block.versions.fill(0);
+        }
+        let block = &mut self.blocks[idx];
+        assert!(
+            !(block.any_valid() && block.tag == tag && block.states[sub].is_valid()),
+            "fill of already-valid unit {unit}"
+        );
+        block.tag = tag;
+        block.states[sub] = state;
+        block.versions[sub] = version;
+        evicted
+    }
+
+    /// Iterates over all valid units with their states (checker aid).
+    pub fn valid_units(&self) -> impl Iterator<Item = (UnitAddr, Moesi)> + '_ {
+        self.blocks.iter().enumerate().flat_map(move |(idx, block)| {
+            block.states.iter().enumerate().filter(|(_, s)| s.is_valid()).map(
+                move |(sub, &state)| (self.unit_addr(idx, block.tag, sub), state),
+            )
+        })
+    }
+
+    /// Number of valid units currently cached.
+    pub fn population(&self) -> usize {
+        self.blocks.iter().map(|b| b.states.iter().filter(|s| s.is_valid()).count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> L2Cache {
+        // 4 blocks of 64 bytes, 2 subblocks each.
+        L2Cache::new(L2Config::new(256, 64, 2))
+    }
+
+    #[test]
+    fn starts_empty() {
+        let l2 = small();
+        assert_eq!(l2.state(UnitAddr::new(0)), Moesi::Invalid);
+        assert_eq!(l2.population(), 0);
+    }
+
+    #[test]
+    fn fill_then_lookup() {
+        let mut l2 = small();
+        let u = UnitAddr::new(3);
+        assert!(l2.fill(u, Moesi::Exclusive, 7).is_empty());
+        assert_eq!(l2.state(u), Moesi::Exclusive);
+        assert_eq!(l2.version(u), 7);
+        assert_eq!(l2.population(), 1);
+    }
+
+    #[test]
+    fn sibling_subblocks_share_a_tag() {
+        let mut l2 = small();
+        // Units 8 and 9 are the two subblocks of block 4 (idx 0, tag 1).
+        let a = UnitAddr::new(8);
+        let b = UnitAddr::new(9);
+        assert!(l2.fill(a, Moesi::Shared, 1).is_empty());
+        assert!(l2.fill(b, Moesi::Modified, 2).is_empty());
+        assert_eq!(l2.state(a), Moesi::Shared);
+        assert_eq!(l2.state(b), Moesi::Modified);
+    }
+
+    #[test]
+    fn one_subblock_valid_means_other_misses() {
+        let mut l2 = small();
+        let a = UnitAddr::new(8);
+        l2.fill(a, Moesi::Shared, 1);
+        // Sibling subblock: tag matches but state is Invalid -> miss.
+        assert_eq!(l2.state(UnitAddr::new(9)), Moesi::Invalid);
+    }
+
+    #[test]
+    fn conflicting_block_evicts_all_valid_subblocks() {
+        let mut l2 = small();
+        // Block addr 0 (units 0,1) and block addr 4 (units 8,9) share idx 0.
+        l2.fill(UnitAddr::new(0), Moesi::Modified, 3);
+        l2.fill(UnitAddr::new(1), Moesi::Shared, 4);
+        let evicted = l2.fill(UnitAddr::new(8), Moesi::Exclusive, 5);
+        assert_eq!(evicted.len(), 2);
+        assert!(evicted.contains(&EvictedUnit {
+            unit: UnitAddr::new(0),
+            state: Moesi::Modified,
+            version: 3
+        }));
+        assert!(evicted.contains(&EvictedUnit {
+            unit: UnitAddr::new(1),
+            state: Moesi::Shared,
+            version: 4
+        }));
+        assert_eq!(l2.state(UnitAddr::new(0)), Moesi::Invalid);
+        assert_eq!(l2.state(UnitAddr::new(8)), Moesi::Exclusive);
+    }
+
+    #[test]
+    fn invalidate_returns_prior_state() {
+        let mut l2 = small();
+        let u = UnitAddr::new(2);
+        l2.fill(u, Moesi::Owned, 9);
+        assert_eq!(l2.invalidate(u), (Moesi::Owned, 9));
+        assert_eq!(l2.state(u), Moesi::Invalid);
+    }
+
+    #[test]
+    #[should_panic(expected = "absent unit")]
+    fn invalidate_absent_panics() {
+        let mut l2 = small();
+        l2.invalidate(UnitAddr::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "already-valid")]
+    fn double_fill_panics() {
+        let mut l2 = small();
+        let u = UnitAddr::new(1);
+        l2.fill(u, Moesi::Shared, 0);
+        l2.fill(u, Moesi::Shared, 0);
+    }
+
+    #[test]
+    fn set_state_transitions() {
+        let mut l2 = small();
+        let u = UnitAddr::new(6);
+        l2.fill(u, Moesi::Exclusive, 0);
+        l2.set_state(u, Moesi::Modified);
+        assert_eq!(l2.state(u), Moesi::Modified);
+    }
+
+    #[test]
+    fn valid_units_enumerates_all() {
+        let mut l2 = small();
+        l2.fill(UnitAddr::new(0), Moesi::Shared, 0);
+        l2.fill(UnitAddr::new(5), Moesi::Modified, 0);
+        let mut got: Vec<(u64, Moesi)> =
+            l2.valid_units().map(|(u, s)| (u.raw(), s)).collect();
+        got.sort_unstable_by_key(|(u, _)| *u);
+        assert_eq!(got, vec![(0, Moesi::Shared), (5, Moesi::Modified)]);
+    }
+
+    #[test]
+    fn version_stamping() {
+        let mut l2 = small();
+        let u = UnitAddr::new(4);
+        l2.fill(u, Moesi::Exclusive, 1);
+        l2.set_version(u, 42);
+        assert_eq!(l2.version(u), 42);
+        assert_eq!(l2.version(UnitAddr::new(5)), 0);
+    }
+
+    #[test]
+    fn nsb_configuration_evicts_single_unit() {
+        // Non-subblocked: one subblock per block.
+        let mut l2 = L2Cache::new(L2Config::new(256, 64, 1));
+        l2.fill(UnitAddr::new(0), Moesi::Modified, 1);
+        let evicted = l2.fill(UnitAddr::new(4), Moesi::Shared, 2);
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].unit, UnitAddr::new(0));
+    }
+
+    #[test]
+    fn paper_sized_l2_geometry() {
+        let l2 = L2Cache::new(L2Config::default());
+        assert_eq!(l2.blocks.len(), 16384);
+        assert_eq!(l2.subblocks, 2);
+    }
+}

@@ -1,0 +1,298 @@
+//! Per-node and system-wide statistics.
+//!
+//! Counters are raw event counts; derived metrics (hit rates, snoop-miss
+//! fractions, remote-hit distribution) match the definitions of the paper's
+//! Tables 2 and 3 so the experiment harness can print those tables
+//! directly.
+
+/// Per-node event counters.
+///
+/// "Local" counters describe accesses initiated by the node's own CPU
+/// (including L1 writebacks into the L2, per the paper's hit-rate
+/// definition); "snoop" counters describe bus-induced activity.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// CPU loads + stores issued to this node.
+    pub l1_accesses: u64,
+    /// L1 hits (including write hits that required a bus upgrade).
+    pub l1_hits: u64,
+    /// Dirty L1 victims written back into the L2.
+    pub l1_writebacks: u64,
+
+    /// Local L2 accesses: L1-miss lookups plus L1 writebacks.
+    pub l2_local_accesses: u64,
+    /// Local L2 hits (L1 writebacks always hit by inclusion).
+    pub l2_local_hits: u64,
+    /// Local L2 tag-array reads (lookups and writeback locates).
+    pub l2_tag_reads: u64,
+    /// L2 tag-array writes (fills, state transitions, invalidations).
+    pub l2_tag_writes: u64,
+    /// L2 data-array reads forwarding a hit to the L1 (serial-access
+    /// organisation; snoop supplies are counted under `snoop_supplies`).
+    pub l2_data_reads: u64,
+    /// L2 data-array reads draining dirty victims toward the writeback
+    /// buffer (charged in both serial and parallel organisations).
+    pub l2_evict_data_reads: u64,
+    /// L2 data-array writes (fills and L1 writebacks).
+    pub l2_data_writes: u64,
+    /// Valid L2 subblocks displaced by block evictions.
+    pub l2_evicted_units: u64,
+    /// Dirty subblocks pushed to the writeback buffer.
+    pub wb_pushes: u64,
+    /// Writeback-buffer entries retired to memory.
+    pub wb_drains: u64,
+    /// Local misses served by the node's own writeback buffer (the evicted
+    /// dirty data is forwarded back before it reaches memory).
+    pub wb_local_hits: u64,
+
+    /// Bus snoops delivered to this node (every remote transaction).
+    pub snoops_seen: u64,
+    /// Writeback-buffer probes (one per snoop; never filtered).
+    pub wb_probes: u64,
+    /// Snoops served by the writeback buffer.
+    pub wb_snoop_hits: u64,
+    /// Snoops that found a valid L2 copy (the oracle, independent of any
+    /// filter).
+    pub snoop_hits: u64,
+    /// Snoops that would miss in the L2 (the filterable population).
+    pub snoop_would_miss: u64,
+    /// L2 tag writes caused by snoop hits (downgrades/invalidations).
+    pub snoop_state_writes: u64,
+    /// Snoop hits where this node supplied data (M/O owner or WB).
+    pub snoop_supplies: u64,
+    /// Units invalidated by remote write transactions.
+    pub snoop_invalidations: u64,
+
+    /// Bus transactions initiated by this node.
+    pub bus_reads: u64,
+    /// Read-exclusive transactions initiated (write misses).
+    pub bus_read_exclusives: u64,
+    /// Upgrade transactions initiated (write hits on shared copies).
+    pub bus_upgrades: u64,
+}
+
+impl NodeStats {
+    /// L1 hit rate in `[0, 1]`; 0 when idle.
+    pub fn l1_hit_rate(&self) -> f64 {
+        ratio(self.l1_hits, self.l1_accesses)
+    }
+
+    /// Local L2 hit rate over L1 misses + L1 writebacks (paper Table 2).
+    pub fn l2_local_hit_rate(&self) -> f64 {
+        ratio(self.l2_local_hits, self.l2_local_accesses)
+    }
+
+    /// Total bus transactions initiated by this node.
+    pub fn bus_transactions(&self) -> u64 {
+        self.bus_reads + self.bus_read_exclusives + self.bus_upgrades
+    }
+
+    /// Merges another node's counters into this one (aggregation).
+    pub fn merge(&mut self, other: &NodeStats) {
+        let NodeStats {
+            l1_accesses,
+            l1_hits,
+            l1_writebacks,
+            l2_local_accesses,
+            l2_local_hits,
+            l2_tag_reads,
+            l2_tag_writes,
+            l2_data_reads,
+            l2_evict_data_reads,
+            l2_data_writes,
+            l2_evicted_units,
+            wb_pushes,
+            wb_drains,
+            wb_local_hits,
+            snoops_seen,
+            wb_probes,
+            wb_snoop_hits,
+            snoop_hits,
+            snoop_would_miss,
+            snoop_state_writes,
+            snoop_supplies,
+            snoop_invalidations,
+            bus_reads,
+            bus_read_exclusives,
+            bus_upgrades,
+        } = other;
+        self.l1_accesses += l1_accesses;
+        self.l1_hits += l1_hits;
+        self.l1_writebacks += l1_writebacks;
+        self.l2_local_accesses += l2_local_accesses;
+        self.l2_local_hits += l2_local_hits;
+        self.l2_tag_reads += l2_tag_reads;
+        self.l2_tag_writes += l2_tag_writes;
+        self.l2_data_reads += l2_data_reads;
+        self.l2_evict_data_reads += l2_evict_data_reads;
+        self.l2_data_writes += l2_data_writes;
+        self.l2_evicted_units += l2_evicted_units;
+        self.wb_pushes += wb_pushes;
+        self.wb_drains += wb_drains;
+        self.wb_local_hits += wb_local_hits;
+        self.snoops_seen += snoops_seen;
+        self.wb_probes += wb_probes;
+        self.wb_snoop_hits += wb_snoop_hits;
+        self.snoop_hits += snoop_hits;
+        self.snoop_would_miss += snoop_would_miss;
+        self.snoop_state_writes += snoop_state_writes;
+        self.snoop_supplies += snoop_supplies;
+        self.snoop_invalidations += snoop_invalidations;
+        self.bus_reads += bus_reads;
+        self.bus_read_exclusives += bus_read_exclusives;
+        self.bus_upgrades += bus_upgrades;
+    }
+}
+
+/// System-wide statistics.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SystemStats {
+    /// Total bus transactions, by kind.
+    pub bus_reads: u64,
+    /// Read-exclusive transactions (write misses).
+    pub bus_read_exclusives: u64,
+    /// Upgrade transactions.
+    pub bus_upgrades: u64,
+    /// Histogram over transactions of how many *remote* caches held a valid
+    /// copy of the snooped unit: index `k` counts transactions finding `k`
+    /// remote copies (paper Table 3 "Remote Cache Hits").
+    pub remote_hit_hist: Vec<u64>,
+    /// Transactions where a cache (or WB) supplied the data.
+    pub cache_supplies: u64,
+    /// Transactions served by memory.
+    pub memory_supplies: u64,
+}
+
+impl SystemStats {
+    /// Creates stats sized for `cpus` processors.
+    pub fn new(cpus: usize) -> Self {
+        Self { remote_hit_hist: vec![0; cpus], ..Self::default() }
+    }
+
+    /// Total bus transactions.
+    pub fn transactions(&self) -> u64 {
+        self.bus_reads + self.bus_read_exclusives + self.bus_upgrades
+    }
+
+    /// Remote-hit distribution as fractions of all transactions
+    /// (Table 3's "0 / 1 / 2 / 3" columns).
+    pub fn remote_hit_fractions(&self) -> Vec<f64> {
+        let total = self.transactions();
+        self.remote_hit_hist.iter().map(|&c| ratio(c, total)).collect()
+    }
+}
+
+/// Aggregate of one simulation run: all nodes plus the system counters,
+/// with the paper's derived metrics.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Aggregated per-node counters.
+    pub nodes: NodeStats,
+    /// Bus-level counters.
+    pub system: SystemStats,
+}
+
+impl RunStats {
+    /// Snoop-induced L2 tag accesses that miss, as a fraction of all
+    /// snoop-induced tag accesses (Table 3, "% of Snoop Accesses";
+    /// paper average 91%).
+    pub fn snoop_miss_fraction_of_snoops(&self) -> f64 {
+        ratio(self.nodes.snoop_would_miss, self.nodes.snoops_seen)
+    }
+
+    /// Snoop-induced L2 tag accesses that miss, as a fraction of *all* L2
+    /// accesses, local + snoop (Table 3, "% of All Accesses"; paper
+    /// average 55%).
+    pub fn snoop_miss_fraction_of_all(&self) -> f64 {
+        ratio(
+            self.nodes.snoop_would_miss,
+            self.nodes.l2_local_accesses + self.nodes.snoops_seen,
+        )
+    }
+
+    /// Snoop accesses as a multiple of local L2 accesses (the paper's
+    /// "snoops double or quadruple L2 accesses" observation).
+    pub fn snoop_amplification(&self) -> f64 {
+        ratio(self.nodes.snoops_seen, self.nodes.l2_local_accesses)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rates() {
+        let stats = NodeStats {
+            l1_accesses: 100,
+            l1_hits: 90,
+            l2_local_accesses: 10,
+            l2_local_hits: 4,
+            ..NodeStats::default()
+        };
+        assert!((stats.l1_hit_rate() - 0.9).abs() < 1e-12);
+        assert!((stats.l2_local_hit_rate() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_node_rates_are_zero() {
+        let stats = NodeStats::default();
+        assert_eq!(stats.l1_hit_rate(), 0.0);
+        assert_eq!(stats.l2_local_hit_rate(), 0.0);
+        assert_eq!(stats.bus_transactions(), 0);
+    }
+
+    #[test]
+    fn merge_sums_all_fields() {
+        let mut a = NodeStats { l1_accesses: 1, snoops_seen: 2, ..NodeStats::default() };
+        let b = NodeStats { l1_accesses: 3, snoops_seen: 4, bus_upgrades: 5, ..NodeStats::default() };
+        a.merge(&b);
+        assert_eq!(a.l1_accesses, 4);
+        assert_eq!(a.snoops_seen, 6);
+        assert_eq!(a.bus_upgrades, 5);
+    }
+
+    #[test]
+    fn remote_hit_fractions_sum_to_one() {
+        let mut s = SystemStats::new(4);
+        s.bus_reads = 6;
+        s.bus_read_exclusives = 3;
+        s.bus_upgrades = 1;
+        s.remote_hit_hist = vec![5, 3, 1, 1];
+        let fr = s.remote_hit_fractions();
+        assert_eq!(fr.len(), 4);
+        assert!((fr.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((fr[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_stats_fractions() {
+        let run = RunStats {
+            nodes: NodeStats {
+                snoops_seen: 100,
+                snoop_would_miss: 91,
+                l2_local_accesses: 80,
+                ..NodeStats::default()
+            },
+            system: SystemStats::new(4),
+        };
+        assert!((run.snoop_miss_fraction_of_snoops() - 0.91).abs() < 1e-12);
+        assert!((run.snoop_miss_fraction_of_all() - 91.0 / 180.0).abs() < 1e-12);
+        assert!((run.snoop_amplification() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_fractions_are_zero() {
+        let run = RunStats::default();
+        assert_eq!(run.snoop_miss_fraction_of_snoops(), 0.0);
+        assert_eq!(run.snoop_miss_fraction_of_all(), 0.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Memory-reference trace primitives: the interface between workload
+//! generators and the SMP system.
+
+use std::fmt;
+
+/// Kind of processor memory access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+impl Op {
+    /// `true` for [`Op::Write`].
+    pub fn is_write(self) -> bool {
+        self == Op::Write
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Read => f.write_str("R"),
+            Op::Write => f.write_str("W"),
+        }
+    }
+}
+
+/// One memory reference issued by one processor.
+///
+/// # Examples
+///
+/// ```
+/// use jetty_sim::{MemRef, Op};
+///
+/// let r = MemRef::read(2, 0x1000);
+/// assert_eq!(r.cpu, 2);
+/// assert!(!r.op.is_write());
+/// let w = MemRef::write(0, 0x2000);
+/// assert!(w.op.is_write());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MemRef {
+    /// Issuing processor index.
+    pub cpu: usize,
+    /// Access kind.
+    pub op: Op,
+    /// Physical byte address.
+    pub addr: u64,
+}
+
+impl MemRef {
+    /// Creates a load reference.
+    pub fn read(cpu: usize, addr: u64) -> Self {
+        Self { cpu, op: Op::Read, addr }
+    }
+
+    /// Creates a store reference.
+    pub fn write(cpu: usize, addr: u64) -> Self {
+        Self { cpu, op: Op::Write, addr }
+    }
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpu{} {} {:#x}", self.cpu, self.op, self.addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(MemRef::read(1, 2), MemRef { cpu: 1, op: Op::Read, addr: 2 });
+        assert_eq!(MemRef::write(1, 2), MemRef { cpu: 1, op: Op::Write, addr: 2 });
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(MemRef::read(3, 0x40).to_string(), "cpu3 R 0x40");
+        assert_eq!(MemRef::write(0, 0x80).to_string(), "cpu0 W 0x80");
+    }
+}

@@ -1,0 +1,153 @@
+//! The per-node writeback buffer (WB).
+//!
+//! Dirty subblocks evicted from the L2 wait here for the bus before
+//! reaching memory. JETTY never filters snoops to the WB (paper §2): every
+//! bus snoop probes the WB associatively, but the WB is tiny compared to
+//! the L2 tag array, so the probe is cheap. A snoop that hits the WB is
+//! served from the buffered data — the WB briefly acts as the owner of the
+//! evicted unit.
+
+use std::collections::VecDeque;
+
+use jetty_core::UnitAddr;
+
+/// One buffered writeback.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WbEntry {
+    /// The dirty coherence unit awaiting its memory write.
+    pub unit: UnitAddr,
+    /// Data version carried with it (checker support).
+    pub version: u64,
+    /// `true` when the evicted copy was `Owned` — other caches may still
+    /// hold Shared copies, so forwarding the entry back into the cache
+    /// must not grant exclusivity without a bus upgrade.
+    pub shared: bool,
+}
+
+/// FIFO writeback buffer with associative snoop lookup.
+#[derive(Clone, Debug)]
+pub struct WritebackBuffer {
+    entries: VecDeque<WbEntry>,
+    capacity: usize,
+}
+
+impl WritebackBuffer {
+    /// Creates an empty buffer with room for `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "writeback buffer needs at least one entry");
+        Self { entries: VecDeque::with_capacity(capacity), capacity }
+    }
+
+    /// Queues a dirty unit. If the buffer is full, the oldest entry is
+    /// forced out first and returned so the caller can retire it to memory.
+    pub fn push(&mut self, entry: WbEntry) -> Option<WbEntry> {
+        let forced = if self.entries.len() == self.capacity {
+            self.entries.pop_front()
+        } else {
+            None
+        };
+        self.entries.push_back(entry);
+        forced
+    }
+
+    /// Retires the oldest entry (bus idle drain), if any.
+    pub fn drain_one(&mut self) -> Option<WbEntry> {
+        self.entries.pop_front()
+    }
+
+    /// Associative probe for `unit` (every snoop does this).
+    pub fn probe(&self, unit: UnitAddr) -> Option<WbEntry> {
+        self.entries.iter().copied().find(|e| e.unit == unit)
+    }
+
+    /// Removes and returns the entry for `unit` (snoop took ownership).
+    pub fn remove(&mut self, unit: UnitAddr) -> Option<WbEntry> {
+        let pos = self.entries.iter().position(|e| e.unit == unit)?;
+        self.entries.remove(pos)
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no writebacks are pending.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(unit: u64, version: u64) -> WbEntry {
+        WbEntry { unit: UnitAddr::new(unit), version, shared: false }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut wb = WritebackBuffer::new(4);
+        assert!(wb.push(e(1, 10)).is_none());
+        assert!(wb.push(e(2, 20)).is_none());
+        assert_eq!(wb.drain_one(), Some(e(1, 10)));
+        assert_eq!(wb.drain_one(), Some(e(2, 20)));
+        assert_eq!(wb.drain_one(), None);
+    }
+
+    #[test]
+    fn overflow_forces_oldest_out() {
+        let mut wb = WritebackBuffer::new(2);
+        wb.push(e(1, 1));
+        wb.push(e(2, 2));
+        let forced = wb.push(e(3, 3));
+        assert_eq!(forced, Some(e(1, 1)));
+        assert_eq!(wb.len(), 2);
+    }
+
+    #[test]
+    fn probe_finds_buffered_units() {
+        let mut wb = WritebackBuffer::new(4);
+        wb.push(e(5, 50));
+        wb.push(e(6, 60));
+        assert_eq!(wb.probe(UnitAddr::new(6)), Some(e(6, 60)));
+        assert_eq!(wb.probe(UnitAddr::new(7)), None);
+    }
+
+    #[test]
+    fn remove_extracts_mid_queue() {
+        let mut wb = WritebackBuffer::new(4);
+        wb.push(e(1, 1));
+        wb.push(e(2, 2));
+        wb.push(e(3, 3));
+        assert_eq!(wb.remove(UnitAddr::new(2)), Some(e(2, 2)));
+        assert_eq!(wb.len(), 2);
+        assert_eq!(wb.remove(UnitAddr::new(2)), None);
+        // FIFO order of the rest is preserved.
+        assert_eq!(wb.drain_one(), Some(e(1, 1)));
+        assert_eq!(wb.drain_one(), Some(e(3, 3)));
+    }
+
+    #[test]
+    fn empty_and_capacity() {
+        let wb = WritebackBuffer::new(8);
+        assert!(wb.is_empty());
+        assert_eq!(wb.capacity(), 8);
+        assert_eq!(wb.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_rejected() {
+        let _ = WritebackBuffer::new(0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests for the trace generators: address-space hygiene,
+//! determinism, scaling, and the structural properties the substrate
+//! relies on.
+
+use std::collections::HashSet;
+
+use jetty_sim::MemRef;
+use jetty_workloads::{apps, TraceGen};
+use proptest::prelude::*;
+
+fn app_index_strategy() -> impl Strategy<Value = usize> {
+    0..apps::all().len()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every generated address lies inside the allocated footprint, above
+    /// the layout base, and CPUs interleave strictly round-robin.
+    #[test]
+    fn addresses_stay_inside_the_footprint(
+        app_idx in app_index_strategy(),
+        scale in 1u32..20
+    ) {
+        let profile = &apps::all()[app_idx];
+        let scale = f64::from(scale) / 2000.0;
+        let generator = TraceGen::new(profile, 4, scale);
+        let footprint = generator.footprint();
+        let base = 0x1000_0000u64;
+        for (i, r) in generator.enumerate() {
+            prop_assert_eq!(r.cpu, i % 4, "round-robin broken at ref {}", i);
+            prop_assert!(r.addr >= base, "{}: address {:#x} below base", profile.name, r.addr);
+            prop_assert!(
+                r.addr < base + footprint,
+                "{}: address {:#x} beyond footprint {:#x}",
+                profile.name,
+                r.addr,
+                footprint
+            );
+        }
+    }
+
+    /// Generators are pure functions of (profile, ncpu, scale).
+    #[test]
+    fn generation_is_deterministic(app_idx in app_index_strategy()) {
+        let profile = &apps::all()[app_idx];
+        let a: Vec<MemRef> = TraceGen::new(profile, 4, 0.002).collect();
+        let b: Vec<MemRef> = TraceGen::new(profile, 4, 0.002).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Scale controls length proportionally and exactly.
+    #[test]
+    fn scale_is_proportional(app_idx in app_index_strategy(), k in 2u64..6) {
+        let profile = &apps::all()[app_idx];
+        let one = TraceGen::new(profile, 4, 0.001).len();
+        let k_times = TraceGen::new(profile, 4, 0.001 * k as f64).len();
+        // Rounding can move the count by at most k/2.
+        prop_assert!((k_times as i64 - (one * k) as i64).unsigned_abs() <= k);
+    }
+
+    /// Every application generates both loads and stores, and multiple
+    /// CPUs touch overlapping units only in apps that actually share
+    /// (radix/raytrace traces must stay effectively disjoint).
+    #[test]
+    fn read_write_mix_is_sane(app_idx in app_index_strategy()) {
+        let profile = &apps::all()[app_idx];
+        let refs: Vec<MemRef> = TraceGen::new(profile, 4, 0.01).collect();
+        let writes = refs.iter().filter(|r| r.op.is_write()).count();
+        prop_assert!(writes > 0, "{}: no stores", profile.name);
+        // Radix's permutation phase is genuinely write-heavy; nothing
+        // should exceed two stores per load though.
+        prop_assert!(writes * 3 < refs.len() * 2, "{}: stores dominate", profile.name);
+    }
+
+    /// Different CPU counts produce valid traces (the 8-way study).
+    #[test]
+    fn eight_way_traces_cover_all_cpus(app_idx in app_index_strategy()) {
+        let profile = &apps::all()[app_idx];
+        let mut seen = HashSet::new();
+        for r in TraceGen::new(profile, 8, 0.005) {
+            seen.insert(r.cpu);
+        }
+        prop_assert_eq!(seen.len(), 8, "{}: not all CPUs active", profile.name);
+    }
+}
+
+/// Sharing-structure smoke checks that are cheaper as plain tests.
+#[test]
+fn radix_and_raytrace_have_no_cross_cpu_write_sharing() {
+    for profile in [apps::radix(), apps::raytrace()] {
+        let mut writers: Vec<HashSet<u64>> = vec![HashSet::new(); 4];
+        for r in TraceGen::new(&profile, 4, 0.02) {
+            if r.op.is_write() {
+                writers[r.cpu].insert(r.addr >> 5);
+            }
+        }
+        for a in 0..4 {
+            for b in (a + 1)..4 {
+                let shared: Vec<_> = writers[a].intersection(&writers[b]).collect();
+                assert!(
+                    shared.is_empty(),
+                    "{}: cpus {a} and {b} both write {} units",
+                    profile.name,
+                    shared.len()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn unstructured_has_heavy_cross_cpu_sharing() {
+    let profile = apps::unstructured();
+    let mut touched: Vec<HashSet<u64>> = vec![HashSet::new(); 4];
+    for r in TraceGen::new(&profile, 4, 0.02) {
+        touched[r.cpu].insert(r.addr >> 5);
+    }
+    let shared: usize = (0..4)
+        .flat_map(|a| ((a + 1)..4).map(move |b| (a, b)))
+        .map(|(a, b)| touched[a].intersection(&touched[b]).count())
+        .sum();
+    assert!(shared > 100, "unstructured shares only {shared} units across CPUs");
+}

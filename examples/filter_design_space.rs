@@ -1,0 +1,62 @@
+//! Filter design-space exploration: sweep storage budget against coverage
+//! and energy on one workload, printing a Pareto-style table.
+//!
+//! This is the kind of study a downstream adopter would run before taping
+//! out a JETTY: how much SRAM buys how much coverage, and when does the
+//! filter's own energy start eating the savings?
+//!
+//! ```sh
+//! cargo run --release --example filter_design_space
+//! ```
+
+use jetty::core::FilterSpec;
+use jetty::energy::{AccessMode, SmpEnergyModel};
+use jetty::experiments::{run_app, RunOptions};
+use jetty::workloads::apps;
+
+fn main() {
+    // A spread of configurations from tiny to the paper's largest.
+    let specs = vec![
+        FilterSpec::exclude(8, 2),
+        FilterSpec::exclude(32, 4),
+        FilterSpec::vector_exclude(32, 4, 8),
+        FilterSpec::include(6, 5, 6),
+        FilterSpec::include(8, 4, 7),
+        FilterSpec::include(10, 4, 7),
+        FilterSpec::hybrid_scalar(8, 4, 7, 16, 2),
+        FilterSpec::hybrid_scalar(9, 4, 7, 32, 4),
+        FilterSpec::hybrid_scalar(10, 4, 7, 32, 4),
+        FilterSpec::hybrid_vector(10, 4, 7, 32, 4, 8),
+    ];
+
+    // Barnes: the paper's hardest workload for small filters.
+    let app = apps::barnes();
+    println!("design-space sweep on {} ({} refs at scale 0.3)\n", app.name, app.accesses);
+    let options = RunOptions::paper().with_scale(0.3).with_specs(specs);
+    let result = run_app(&app, &options);
+    let model = SmpEnergyModel::paper_node();
+
+    println!(
+        "{:<26} {:>10} {:>9} {:>12} {:>12}",
+        "filter", "storage", "coverage", "snoop-E red.", "L2-E red."
+    );
+    let mut rows: Vec<_> = result.reports.iter().collect();
+    rows.sort_by_key(|r| r.storage_bits);
+    for report in rows {
+        let snoop = model.snoop_energy_reduction(&result.run, report, AccessMode::Serial);
+        let total = model.total_energy_reduction(&result.run, report, AccessMode::Serial);
+        println!(
+            "{:<26} {:>9}b {:>8.1}% {:>11.1}% {:>11.1}%",
+            report.label,
+            report.storage_bits,
+            100.0 * report.coverage(),
+            100.0 * snoop,
+            100.0 * total,
+        );
+    }
+    println!(
+        "\nNote the knee: hybrids dominate standalone filters per bit of \
+         storage,\nand past the knee extra SRAM buys little — the paper's \
+         (IJ-9x4x7, EJ-32x4)\nsits right at it."
+    );
+}

@@ -1,0 +1,69 @@
+//! Producer/consumer walkthrough — the sharing pattern from the paper's
+//! Figure 1, instrumented step by step.
+//!
+//! CPU1 consumes what CPU2 produces; CPU3 is an innocent bystander whose
+//! L2 tag array burns energy on every snoop unless a JETTY filters it.
+//! This example walks the exact Figure 1 scenario and shows which snoops
+//! each JETTY variant catches.
+//!
+//! ```sh
+//! cargo run --example producer_consumer
+//! ```
+
+use jetty::core::FilterSpec;
+use jetty::sim::{Op, System, SystemConfig};
+
+fn main() {
+    // One of each family on every node, observing the same bus.
+    let specs = [
+        FilterSpec::exclude(32, 4),
+        FilterSpec::include(9, 4, 7),
+        FilterSpec::hybrid_scalar(9, 4, 7, 32, 4),
+    ];
+    let mut smp = System::new(SystemConfig::paper_4way(), &specs);
+
+    let addr_a = 0x4000u64; // the shared buffer "a" of Figure 1
+
+    println!("Figure 1 walkthrough (CPU2 produces, CPU1 consumes, CPU3 idles):\n");
+
+    // Action 0: the producer creates the data (BusRdX; everyone misses).
+    let out = smp.access(2, Op::Write, addr_a);
+    println!("CPU2 writes a  -> bus: {:?}", out.bus);
+
+    // Action 1-3: the consumer reads; the producer supplies; CPU3's snoop
+    // misses and wastes a tag probe unless filtered.
+    let out = smp.access(1, Op::Read, addr_a);
+    println!("CPU1 reads a   -> bus: {:?} (producer supplies, CPU3 snoop-misses)", out.bus);
+
+    // The loop: producer rewrites (invalidating the consumer), consumer
+    // re-reads. CPU0 and CPU3 snoop every transaction and always miss.
+    for _ in 0..1000 {
+        smp.access(2, Op::Write, addr_a);
+        smp.access(1, Op::Read, addr_a);
+        // Background private work keeps all CPUs busy.
+        smp.access(0, Op::Read, 0x100_0000);
+        smp.access(3, Op::Read, 0x200_0000);
+    }
+
+    let run = smp.run_stats();
+    println!("\nbus transactions        : {}", run.system.transactions());
+    println!("remote-hit distribution : {:?}", run.system.remote_hit_hist);
+    println!(
+        "snoops / would-miss     : {} / {}",
+        run.nodes.snoops_seen, run.nodes.snoop_would_miss
+    );
+
+    println!("\n{:<24} {:>9} {:>10}", "filter", "filtered", "coverage");
+    for report in smp.filter_reports() {
+        println!(
+            "{:<24} {:>9} {:>9.1}%",
+            report.label,
+            report.filtered,
+            100.0 * report.coverage()
+        );
+    }
+    println!(
+        "\nThe EJ thrives here: the bystanders see the same block miss over \
+         and over.\nThe IJ guarantees the rest; the hybrid unites them."
+    );
+}

@@ -1,0 +1,46 @@
+//! # jetty — reproduction of "JETTY: Filtering Snoops for Reduced Energy
+//! Consumption in SMP Servers" (HPCA 2001)
+//!
+//! This facade crate re-exports the whole workspace so applications can
+//! depend on a single crate:
+//!
+//! * [`core`] — the JETTY snoop filters (Exclude, Vector-Exclude, Include,
+//!   Hybrid) and the [`core::SnoopFilter`] trait;
+//! * [`sim`] — the bus-based SMP substrate (L1, subblocked L2, writeback
+//!   buffer, MOESI coherence, filter banks, runtime checking);
+//! * [`energy`] — Kamble–Ghose array energies, CACTI-style banking, the
+//!   Appendix-A analytic model and full-run accounting;
+//! * [`workloads`] — synthetic SPLASH-2-style trace generators calibrated
+//!   to the paper's per-application statistics;
+//! * [`experiments`] — the harness regenerating every table and figure
+//!   (also available as the `jetty-repro` binary).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use jetty::core::FilterSpec;
+//! use jetty::energy::{AccessMode, SmpEnergyModel};
+//! use jetty::sim::{System, SystemConfig};
+//! use jetty::workloads::{apps, TraceGen};
+//!
+//! // The paper's best filter on a 4-way SMP running an LU-like workload.
+//! let spec = FilterSpec::hybrid_scalar(10, 4, 7, 32, 4);
+//! let mut smp = System::new(SystemConfig::paper_4way().without_checks(), &[spec]);
+//! smp.run(TraceGen::new(&apps::lu(), 4, 0.02));
+//!
+//! let report = &smp.filter_reports()[0];
+//! assert!(report.coverage() > 0.5, "the hybrid filters most would-miss snoops");
+//!
+//! let model = SmpEnergyModel::paper_node();
+//! let saved = model.total_energy_reduction(&smp.run_stats(), report, AccessMode::Serial);
+//! assert!(saved > 0.0, "JETTY pays for itself");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use jetty_core as core;
+pub use jetty_energy as energy;
+pub use jetty_experiments as experiments;
+pub use jetty_sim as sim;
+pub use jetty_workloads as workloads;

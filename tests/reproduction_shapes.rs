@@ -1,0 +1,149 @@
+//! Reproduction-shape tests: the relative results the paper reports must
+//! hold for the regenerated tables and figures (absolute values may differ
+//! — our substrate is a synthetic-trace simulator, not WWT2).
+
+use jetty::core::{FilterSpec, IncludeConfig};
+use jetty::energy::{figure2_panel, table1_rows, AnalyticInputs, TechParams};
+use jetty::experiments::figures::{self, Fig6Panel};
+use jetty::experiments::{average, run_suite, tables, RunOptions};
+
+const SCALE: f64 = 0.05;
+
+#[test]
+fn table1_fractions_match_published_values() {
+    let rows = table1_rows();
+    // 1 MB part: 23% with pads in the denominator, 28% without.
+    assert!((rows[1].l2_fraction() - 0.23).abs() < 0.01);
+    assert!((rows[1].l2_fraction_without_pads() - 0.28).abs() < 0.011);
+}
+
+#[test]
+fn figure2_reference_point_and_shape() {
+    let tech = TechParams::default();
+    let m32 = AnalyticInputs::for_block_size(4, 32, &tech);
+    // §2.1's reference point: ~33% at L=0.5, R=0.1 for 32-byte lines.
+    let reference = m32.snoop_miss_fraction(0.5, 0.1);
+    assert!(
+        (0.2..=0.45).contains(&reference),
+        "reference point {reference:.3} too far from the paper's 33%"
+    );
+    // The panel's top-left corner approaches the paper's ~50% axis top.
+    let corner = m32.snoop_miss_fraction(0.0, 0.0);
+    assert!((0.35..=0.65).contains(&corner), "corner {corner:.3}");
+    // 32-byte panels sit above 64-byte panels everywhere meaningful.
+    let p32 = figure2_panel(4, 32, 10, &tech);
+    let p64 = figure2_panel(4, 64, 10, &tech);
+    for (c32, c64) in p32.curves.iter().zip(&p64.curves) {
+        for (a, b) in c32.points.iter().zip(&c64.points) {
+            assert!(a.1 >= b.1 - 1e-9, "32B panel dipped below 64B at {:?}", a.0);
+        }
+    }
+}
+
+#[test]
+fn table3_aggregates_match_paper_shape() {
+    let runs = run_suite(&RunOptions::paper().with_scale(SCALE).with_specs(vec![]));
+    // Paper averages: 79.6% of snoops find no remote copy; 91% of
+    // snoop-induced tag accesses miss; misses are 55% of all L2 accesses.
+    let rh0 = average(&runs, |r| {
+        r.run.system.remote_hit_fractions().first().copied().unwrap_or(0.0)
+    });
+    let miss_of_snoops = average(&runs, |r| r.run.snoop_miss_fraction_of_snoops());
+    let miss_of_all = average(&runs, |r| r.run.snoop_miss_fraction_of_all());
+    assert!((0.6..=0.95).contains(&rh0), "remote-hit-0 average {rh0:.3} (paper 0.796)");
+    assert!(
+        (0.8..=1.0).contains(&miss_of_snoops),
+        "snoop-miss share {miss_of_snoops:.3} (paper 0.91)"
+    );
+    assert!(
+        (0.35..=0.7).contains(&miss_of_all),
+        "miss share of all accesses {miss_of_all:.3} (paper 0.55)"
+    );
+    // The table renders with one row per app plus the average.
+    assert_eq!(tables::table3(&runs).len(), 11);
+}
+
+#[test]
+fn table4_storage_is_monotone_and_matches_formulas() {
+    let configs = [
+        IncludeConfig::new(10, 4, 7),
+        IncludeConfig::new(9, 4, 7),
+        IncludeConfig::new(8, 4, 7),
+        IncludeConfig::new(7, 5, 6),
+        IncludeConfig::new(6, 5, 6),
+    ];
+    // Storage decreases monotonically down the table, as in Table 4.
+    for pair in configs.windows(2) {
+        assert!(pair[0].storage_bytes() > pair[1].storage_bytes());
+    }
+    // The largest config's counters: 4 x 1024 x 14 bits = 7168 bytes
+    // (paper's total column), plus 512 bytes of p-bits.
+    assert_eq!(configs[0].cnt_storage_bits() / 8, 7168);
+    assert_eq!(configs[0].pbit_storage_bits() / 8, 512);
+}
+
+#[test]
+fn figure_tables_render_for_the_full_suite() {
+    let runs = run_suite(&RunOptions::paper().with_scale(SCALE));
+    for table in [
+        figures::fig4a(&runs),
+        figures::fig4b(&runs),
+        figures::fig5a(&runs),
+        figures::fig5b(&runs),
+        figures::fig6(&runs, Fig6Panel::SnoopSerial),
+        figures::fig6(&runs, Fig6Panel::AllSerial),
+        figures::fig6(&runs, Fig6Panel::SnoopParallel),
+        figures::fig6(&runs, Fig6Panel::AllParallel),
+    ] {
+        assert_eq!(table.len(), 11, "expected 10 apps + AVG:\n{}", table.render());
+    }
+}
+
+#[test]
+fn figure6_energy_orderings() {
+    let runs = run_suite(&RunOptions::paper().with_scale(SCALE));
+    let model = jetty::energy::SmpEnergyModel::paper_node();
+    let best = "(IJ-10x4x7, EJ-32x4)";
+    // Serial snoop-side reduction averaged over apps is substantial
+    // (paper: 56%); whole-L2 is smaller (paper: 30%); parallel beats
+    // serial (paper: 63% / 41%).
+    let snoop_serial = average(&runs, |r| {
+        model.snoop_energy_reduction(
+            &r.run,
+            r.report(best).unwrap(),
+            jetty::energy::AccessMode::Serial,
+        )
+    });
+    let all_serial = average(&runs, |r| {
+        model.total_energy_reduction(
+            &r.run,
+            r.report(best).unwrap(),
+            jetty::energy::AccessMode::Serial,
+        )
+    });
+    let snoop_parallel = average(&runs, |r| {
+        model.snoop_energy_reduction(
+            &r.run,
+            r.report(best).unwrap(),
+            jetty::energy::AccessMode::Parallel,
+        )
+    });
+    assert!(snoop_serial > 0.3, "snoop-side serial reduction {snoop_serial:.3}");
+    assert!(all_serial > 0.1, "whole-L2 serial reduction {all_serial:.3}");
+    assert!(snoop_serial > all_serial);
+    assert!(snoop_parallel > snoop_serial);
+}
+
+#[test]
+fn vej_mostly_tracks_ej_with_occasional_losses() {
+    // Figure 4b: vectors help most apps slightly; they may lose on some
+    // (different set-indexing) — so we assert only aggregate closeness.
+    let specs = vec![FilterSpec::vector_exclude(32, 4, 8), FilterSpec::exclude(32, 4)];
+    let runs = run_suite(&RunOptions::paper().with_scale(SCALE).with_specs(specs));
+    let vej = average(&runs, |r| r.coverage("VEJ-32x4-8"));
+    let ej = average(&runs, |r| r.coverage("EJ-32x4"));
+    assert!(
+        (vej - ej).abs() < 0.25,
+        "VEJ average {vej:.3} implausibly far from EJ average {ej:.3}"
+    );
+}
