@@ -24,18 +24,12 @@ fn coverage_figures_bench(c: &mut Criterion) {
     // One shared suite run with the full bank: the benches isolate the
     // per-figure aggregation + rendering, mirroring jetty-repro.
     let runs = bench_suite();
-    group.bench_function("fig4a_exclude", |b| {
-        b.iter(|| figures::fig4a(&runs).render().len())
-    });
+    group.bench_function("fig4a_exclude", |b| b.iter(|| figures::fig4a(&runs).render().len()));
     group.bench_function("fig4b_vector_exclude", |b| {
         b.iter(|| figures::fig4b(&runs).render().len())
     });
-    group.bench_function("fig5a_include", |b| {
-        b.iter(|| figures::fig5a(&runs).render().len())
-    });
-    group.bench_function("fig5b_hybrid", |b| {
-        b.iter(|| figures::fig5b(&runs).render().len())
-    });
+    group.bench_function("fig5a_include", |b| b.iter(|| figures::fig5a(&runs).render().len()));
+    group.bench_function("fig5b_hybrid", |b| b.iter(|| figures::fig5b(&runs).render().len()));
     group.finish();
 }
 
@@ -49,9 +43,7 @@ fn fig6_bench(c: &mut Criterion) {
         ("c_snoop_parallel", Fig6Panel::SnoopParallel),
         ("d_all_parallel", Fig6Panel::AllParallel),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| figures::fig6(&runs, panel).render().len())
-        });
+        group.bench_function(name, |b| b.iter(|| figures::fig6(&runs, panel).render().len()));
     }
     group.finish();
 }

@@ -39,12 +39,7 @@ fn throughput_benches(c: &mut Criterion) {
 
     group.bench_function("full_bank_unchecked", |b| {
         b.iter_batched_ref(
-            || {
-                System::new(
-                    SystemConfig::paper_4way().without_checks(),
-                    &FilterSpec::paper_bank(),
-                )
-            },
+            || System::new(SystemConfig::paper_4way().without_checks(), &FilterSpec::paper_bank()),
             |sys| sys.run(refs.iter().copied()),
             BatchSize::SmallInput,
         )
@@ -66,9 +61,7 @@ fn trace_generation_bench(c: &mut Criterion) {
     group.sample_size(10);
     let n = TraceGen::new(&apps::barnes(), 4, 0.02).len();
     group.throughput(Throughput::Elements(n));
-    group.bench_function("barnes", |b| {
-        b.iter(|| TraceGen::new(&apps::barnes(), 4, 0.02).count())
-    });
+    group.bench_function("barnes", |b| b.iter(|| TraceGen::new(&apps::barnes(), 4, 0.02).count()));
     group.finish();
 }
 

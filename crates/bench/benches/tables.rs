@@ -10,9 +10,7 @@ use jetty_experiments::tables;
 fn table1_bench(c: &mut Criterion) {
     // Static data + derived columns; effectively free, but regenerated
     // through the same path as `jetty-repro table1`.
-    c.bench_function("table1_xeon_power", |b| {
-        b.iter(|| tables::table1().render().len())
-    });
+    c.bench_function("table1_xeon_power", |b| b.iter(|| tables::table1().render().len()));
 }
 
 fn table2_bench(c: &mut Criterion) {
@@ -32,16 +30,12 @@ fn table3_bench(c: &mut Criterion) {
     group.sample_size(10);
     // Reuse one suite run; the bench isolates the statistics + rendering.
     let runs = bench_suite_with(vec![FilterSpec::exclude(8, 2)]);
-    group.bench_function("stats_and_render", |b| {
-        b.iter(|| tables::table3(&runs).render().len())
-    });
+    group.bench_function("stats_and_render", |b| b.iter(|| tables::table3(&runs).render().len()));
     group.finish();
 }
 
 fn table4_bench(c: &mut Criterion) {
-    c.bench_function("table4_ij_storage", |b| {
-        b.iter(|| tables::table4().render().len())
-    });
+    c.bench_function("table4_ij_storage", |b| b.iter(|| tables::table4().render().len()));
 }
 
 criterion_group!(benches, table1_bench, table2_bench, table3_bench, table4_bench);

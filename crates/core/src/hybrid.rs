@@ -346,10 +346,8 @@ mod tests {
 
     #[test]
     fn vector_exclude_part_works() {
-        let cfg = HybridConfig::new(
-            IncludeConfig::new(8, 4, 7),
-            VectorExcludeConfig::new(32, 4, 8),
-        );
+        let cfg =
+            HybridConfig::new(IncludeConfig::new(8, 4, 7), VectorExcludeConfig::new(32, 4, 8));
         assert_eq!(cfg.label(), "(IJ-8x4x7, VEJ-32x4-8)");
         let mut f = HybridJetty::new(cfg, AddrSpace::default());
         let cached = UnitAddr::new(0x0BAD_CAFE);

@@ -154,8 +154,7 @@ impl IncludeJetty {
     ///
     /// The filter starts empty (all p-bits clear), matching an empty cache.
     pub fn new(config: IncludeConfig, space: AddrSpace) -> Self {
-        let counts =
-            vec![vec![0u32; config.entries_per_array()]; config.sub_arrays as usize];
+        let counts = vec![vec![0u32; config.entries_per_array()]; config.sub_arrays as usize];
         let arrays = Self::array_count(&config);
         Self { config, space, counts, activity: FilterActivity::with_arrays(arrays) }
     }

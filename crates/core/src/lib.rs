@@ -64,7 +64,9 @@ mod vector_exclude;
 
 pub use addr::{AddrSpace, UnitAddr};
 pub use exclude::{ExcludeConfig, ExcludeJetty};
-pub use filter::{ArrayActivity, ArrayKind, ArraySpec, FilterActivity, MissScope, SnoopFilter, Verdict};
+pub use filter::{
+    ArrayActivity, ArrayKind, ArraySpec, FilterActivity, MissScope, SnoopFilter, Verdict,
+};
 pub use hybrid::{EjAllocation, ExcludePart, HybridConfig, HybridJetty};
 pub use include::{IncludeConfig, IncludeJetty};
 pub use null::NullFilter;

@@ -143,10 +143,7 @@ impl VectorExcludeJetty {
 
     /// Width of a stored tag: block bits minus lane bits minus set bits.
     pub fn tag_bits(&self) -> u32 {
-        self.space
-            .block_bits()
-            .saturating_sub(self.lane_bits())
-            .saturating_sub(self.set_bits())
+        self.space.block_bits().saturating_sub(self.lane_bits()).saturating_sub(self.set_bits())
     }
 
     /// Splits a unit address into (set, tag, lane).

@@ -22,8 +22,8 @@
 use jetty_core::{ArrayKind, ArraySpec};
 use jetty_sim::{FilterReport, RunStats};
 
-use crate::cacti_lite::optimize_array;
 use crate::cache_energy::{CacheEnergy, CacheGeometry, WbEnergy};
+use crate::cacti_lite::optimize_array;
 use crate::kamble_ghose::CamArray;
 use crate::tech::TechParams;
 

@@ -53,7 +53,14 @@ impl CacheGeometry {
     /// The analytic model's L2 (§2.1): 1 MB 4-way set-associative, 36-bit
     /// PA plus 2 bits of MOSI state, with the given block size.
     pub fn analytic_l2(block_bytes: usize) -> Self {
-        Self { capacity: 1024 * 1024, block_bytes, subblocks: 1, assoc: 4, pa_bits: 36, state_bits: 2 }
+        Self {
+            capacity: 1024 * 1024,
+            block_bytes,
+            subblocks: 1,
+            assoc: 4,
+            pa_bits: 36,
+            state_bits: 2,
+        }
     }
 
     /// Number of sets.
@@ -249,7 +256,12 @@ mod tests {
     fn wb_probe_is_negligible_vs_l2_tag_probe() {
         let l2 = CacheEnergy::new(CacheGeometry::paper_l2(), &tech());
         let wb = WbEnergy::new(8, 35, &tech());
-        assert!(wb.probe() < l2.tag_probe() / 10.0, "WB probe {} vs tag {}", wb.probe(), l2.tag_probe());
+        assert!(
+            wb.probe() < l2.tag_probe() / 10.0,
+            "WB probe {} vs tag {}",
+            wb.probe(),
+            l2.tag_probe()
+        );
     }
 
     #[test]

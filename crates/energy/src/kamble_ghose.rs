@@ -56,8 +56,7 @@ impl SramArray {
     /// every bit-line pair, word-line assertion, decode, sense amps, and
     /// output drivers for every bit read.
     pub fn read_energy(&self, tech: &TechParams) -> f64 {
-        let e_bitlines =
-            self.cols as f64 * self.c_bitline(tech) * tech.vdd * tech.v_swing_read;
+        let e_bitlines = self.cols as f64 * self.c_bitline(tech) * tech.vdd * tech.v_swing_read;
         let e_sense = self.cols as f64 * tech.e_sense_amp;
         let e_out = self.cols as f64 * tech.e_output_per_bit;
         e_bitlines + self.e_wordline(tech) + self.e_decode(tech) + e_sense + e_out
@@ -66,8 +65,7 @@ impl SramArray {
     /// Energy of one write access: larger-swing drive on every bit-line
     /// pair, word-line assertion and decode (no sense amps, no output).
     pub fn write_energy(&self, tech: &TechParams) -> f64 {
-        let e_bitlines =
-            self.cols as f64 * self.c_bitline(tech) * tech.vdd * tech.v_swing_write;
+        let e_bitlines = self.cols as f64 * self.c_bitline(tech) * tech.vdd * tech.v_swing_write;
         e_bitlines + self.e_wordline(tech) + self.e_decode(tech)
     }
 

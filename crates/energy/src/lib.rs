@@ -43,16 +43,16 @@
 
 pub mod accounting;
 pub mod analytic;
-pub mod cacti_lite;
 pub mod cache_energy;
+pub mod cacti_lite;
 pub mod kamble_ghose;
 pub mod tech;
 pub mod xeon;
 
 pub use accounting::{AccessMode, EnergyBreakdown, SmpEnergyModel};
 pub use analytic::{figure2_panel, AnalyticInputs, Figure2Curve, Figure2Panel};
-pub use cacti_lite::{optimize_array, BankedArray};
 pub use cache_energy::{CacheEnergy, CacheGeometry, WbEnergy};
+pub use cacti_lite::{optimize_array, BankedArray};
 pub use kamble_ghose::{CamArray, SramArray};
 pub use tech::TechParams;
 pub use xeon::{table1_rows, XeonRow};

@@ -25,7 +25,8 @@ pub fn ij_skip_ablation(scale: f64) -> Table {
     let options = RunOptions::paper().with_scale(scale).with_specs(specs.clone());
     let runs = run_suite(&options);
 
-    let mut t = Table::new("Ablation: IJ index overlap (IJ-8x4xS; S=8 disjoint, paper uses overlap)");
+    let mut t =
+        Table::new("Ablation: IJ index overlap (IJ-8x4xS; S=8 disjoint, paper uses overlap)");
     let mut headers = vec!["App".to_string()];
     headers.extend(specs.iter().map(FilterSpec::label));
     t.headers(headers);
@@ -45,11 +46,7 @@ pub fn ij_skip_ablation(scale: f64) -> Table {
 /// array of a hybrid's array list.
 fn ej_writes(run: &AppRun, label: &str) -> u64 {
     let report = run.report(label).expect("configuration missing from bank");
-    report
-        .activities
-        .iter()
-        .map(|a| a.arrays.last().map_or(0, |arr| arr.writes))
-        .sum()
+    report.activities.iter().map(|a| a.arrays.last().map_or(0, |arr| arr.writes)).sum()
 }
 
 /// Compares the paper's backup EJ-allocation policy against the eager
@@ -57,8 +54,7 @@ fn ej_writes(run: &AppRun, label: &str) -> u64 {
 pub fn hj_policy_ablation(scale: f64) -> Table {
     let backup = FilterSpec::hybrid_scalar(9, 4, 7, 32, 4);
     let eager = FilterSpec::hybrid_scalar_eager(9, 4, 7, 32, 4);
-    let options =
-        RunOptions::paper().with_scale(scale).with_specs(vec![backup, eager]);
+    let options = RunOptions::paper().with_scale(scale).with_specs(vec![backup, eager]);
     let runs = run_suite(&options);
 
     let mut t = Table::new("Ablation: HJ EJ-allocation policy (backup = paper)");

@@ -6,9 +6,8 @@
 //! jetty-repro [COMMANDS...] [--scale X] [--cpus N] [--csv DIR] [--check]
 //! ```
 //!
-//! Commands: `all`, `table1`, `fig2`, `table2`, `table3`, `table4`,
-//! `fig4a`, `fig4b`, `fig5a`, `fig5b`, `fig6`, `smp8`, `nsb`,
-//! `calibrate`, `ablation`. Default: `all`.
+//! One subcommand per paper exhibit; [`COMMANDS`] is the authoritative
+//! list (also printed by `--help`). Default: `all`.
 
 use std::env;
 use std::fs;
@@ -20,6 +19,25 @@ use jetty_experiments::figures::{self, Fig6Panel};
 use jetty_experiments::report::Table;
 use jetty_experiments::runner::{run_suite, AppRun, RunOptions};
 use jetty_experiments::{ablation, tables};
+
+/// Every recognised subcommand, in paper order.
+const COMMANDS: &[&str] = &[
+    "all",
+    "table1",
+    "fig2",
+    "table2",
+    "table3",
+    "table4",
+    "fig4a",
+    "fig4b",
+    "fig5a",
+    "fig5b",
+    "fig6",
+    "smp8",
+    "nsb",
+    "calibrate",
+    "ablation",
+];
 
 struct Cli {
     commands: Vec<String>,
@@ -53,12 +71,20 @@ fn parse_args() -> Result<Cli, String> {
             "--help" | "-h" => {
                 println!(
                     "jetty-repro [COMMANDS...] [--scale X] [--cpus N] [--csv DIR] [--check]\n\
-                     commands: all table1 fig2 table2 table3 table4 fig4a fig4b fig5a fig5b \
-                     fig6 smp8 nsb calibrate ablation"
+                     commands: {}",
+                    COMMANDS.join(" ")
                 );
                 std::process::exit(0);
             }
-            cmd if !cmd.starts_with('-') => cli.commands.push(cmd.to_string()),
+            cmd if !cmd.starts_with('-') => {
+                if !COMMANDS.contains(&cmd) {
+                    return Err(format!(
+                        "unknown command: {cmd} (commands: {})",
+                        COMMANDS.join(" ")
+                    ));
+                }
+                cli.commands.push(cmd.to_string());
+            }
             other => return Err(format!("unknown flag: {other}")),
         }
     }

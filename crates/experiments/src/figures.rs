@@ -39,9 +39,7 @@ fn coverage_table(title: &str, runs: &[AppRun], specs: &[FilterSpec]) -> Table {
         t.row(row);
     }
     let mut avg_row = vec!["AVG".to_string()];
-    avg_row.extend(
-        specs.iter().map(|s| pct(average(runs, |r| r.coverage(&s.label())))),
-    );
+    avg_row.extend(specs.iter().map(|s| pct(average(runs, |r| r.coverage(&s.label())))));
     t.row(avg_row);
     t
 }
@@ -169,10 +167,7 @@ pub fn smp8_summary(runs: &[AppRun]) -> Table {
         "snoop-miss % of all L2 accesses (avg)".to_string(),
         pct(average(runs, |r| r.run.snoop_miss_fraction_of_all())),
     ]);
-    t.row([
-        format!("avg coverage of {best}"),
-        pct(average(runs, |r| r.coverage(&best))),
-    ]);
+    t.row([format!("avg coverage of {best}"), pct(average(runs, |r| r.coverage(&best)))]);
     t
 }
 
@@ -192,10 +187,7 @@ pub fn nsb_summary(runs: &[AppRun]) -> Table {
         "snoop-miss % of all L2 accesses (avg)".to_string(),
         pct(average(runs, |r| r.run.snoop_miss_fraction_of_all())),
     ]);
-    t.row([
-        format!("avg coverage of {best}"),
-        pct(average(runs, |r| r.coverage(&best))),
-    ]);
+    t.row([format!("avg coverage of {best}"), pct(average(runs, |r| r.coverage(&best)))]);
     t
 }
 

@@ -58,15 +58,7 @@ pub fn table2(runs: &[AppRun]) -> Table {
 /// Table 3: remote-cache-hit distribution and snoop-miss fractions.
 pub fn table3(runs: &[AppRun]) -> Table {
     let mut t = Table::new("Table 3: snoop hit distribution (measured, paper in parens)");
-    t.headers([
-        "App",
-        "0 hits",
-        "1 hit",
-        "2 hits",
-        "3 hits",
-        "miss %snoops",
-        "miss %all",
-    ]);
+    t.headers(["App", "0 hits", "1 hit", "2 hits", "3 hits", "miss %snoops", "miss %all"]);
     for r in runs {
         let fr = r.run.system.remote_hit_fractions();
         let paper = &r.profile.paper;
@@ -116,7 +108,17 @@ pub fn table4() -> Table {
 /// with absolute deltas — the source for EXPERIMENTS.md.
 pub fn calibration(runs: &[AppRun]) -> Table {
     let mut t = Table::new("Calibration: measured vs paper (delta in points)");
-    t.headers(["App", "L1 d", "L2 d", "rh0 d", "rh1 d", "rh2 d", "rh3 d", "miss%sn d", "miss%all d"]);
+    t.headers([
+        "App",
+        "L1 d",
+        "L2 d",
+        "rh0 d",
+        "rh1 d",
+        "rh2 d",
+        "rh3 d",
+        "miss%sn d",
+        "miss%all d",
+    ]);
     let fmt = |m: f64, p: f64| format!("{:+.1}", 100.0 * (m - p));
     for r in runs {
         let n = &r.run.nodes;
@@ -145,9 +147,8 @@ mod tests {
     use jetty_workloads::apps;
 
     fn tiny_runs() -> Vec<AppRun> {
-        let options = RunOptions::paper()
-            .with_scale(0.005)
-            .with_specs(vec![FilterSpec::exclude(8, 2)]);
+        let options =
+            RunOptions::paper().with_scale(0.005).with_specs(vec![FilterSpec::exclude(8, 2)]);
         vec![run_app(&apps::fft(), &options), run_app(&apps::lu(), &options)]
     }
 

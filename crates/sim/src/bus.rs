@@ -95,7 +95,8 @@ mod tests {
         let r = SnoopResponse::default();
         assert!(!r.shared());
         assert!(!r.cache_supplied());
-        let r2 = SnoopResponse { remote_copies: 2, supplied_version: Some(7), supplied_by_wb: false };
+        let r2 =
+            SnoopResponse { remote_copies: 2, supplied_version: Some(7), supplied_by_wb: false };
         assert!(r2.shared());
         assert!(r2.cache_supplied());
         let r3 = SnoopResponse { remote_copies: 0, supplied_version: None, supplied_by_wb: true };

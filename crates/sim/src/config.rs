@@ -72,7 +72,10 @@ impl L2Config {
     pub fn new(capacity: usize, block_bytes: usize, subblocks: usize) -> Self {
         assert!(capacity.is_power_of_two(), "L2 capacity must be a power of two");
         assert!(block_bytes.is_power_of_two(), "L2 block size must be a power of two");
-        assert!(subblocks.is_power_of_two() && subblocks >= 1, "subblock count must be a power of two");
+        assert!(
+            subblocks.is_power_of_two() && subblocks >= 1,
+            "subblock count must be a power of two"
+        );
         assert!(block_bytes / subblocks >= 1 && block_bytes.is_multiple_of(subblocks));
         assert!(block_bytes <= capacity, "L2 block larger than the cache");
         Self { capacity, block_bytes, subblocks }

@@ -171,9 +171,11 @@ impl L1Cache {
 
     /// Iterates over all valid units (test/checker aid).
     pub fn valid_units(&self) -> impl Iterator<Item = UnitAddr> + '_ {
-        self.lines.iter().enumerate().filter(|(_, l)| l.valid).map(move |(idx, l)| {
-            UnitAddr::new((l.tag << self.index_bits) | idx as u64)
-        })
+        self.lines
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.valid)
+            .map(move |(idx, l)| UnitAddr::new((l.tag << self.index_bits) | idx as u64))
     }
 }
 

@@ -216,9 +216,12 @@ impl L2Cache {
     /// Iterates over all valid units with their states (checker aid).
     pub fn valid_units(&self) -> impl Iterator<Item = (UnitAddr, Moesi)> + '_ {
         self.blocks.iter().enumerate().flat_map(move |(idx, block)| {
-            block.states.iter().enumerate().filter(|(_, s)| s.is_valid()).map(
-                move |(sub, &state)| (self.unit_addr(idx, block.tag, sub), state),
-            )
+            block
+                .states
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.is_valid())
+                .map(move |(sub, &state)| (self.unit_addr(idx, block.tag, sub), state))
         })
     }
 
@@ -336,8 +339,7 @@ mod tests {
         let mut l2 = small();
         l2.fill(UnitAddr::new(0), Moesi::Shared, 0);
         l2.fill(UnitAddr::new(5), Moesi::Modified, 0);
-        let mut got: Vec<(u64, Moesi)> =
-            l2.valid_units().map(|(u, s)| (u.raw(), s)).collect();
+        let mut got: Vec<(u64, Moesi)> = l2.valid_units().map(|(u, s)| (u.raw(), s)).collect();
         got.sort_unstable_by_key(|(u, _)| *u);
         assert_eq!(got, vec![(0, Moesi::Shared), (5, Moesi::Modified)]);
     }

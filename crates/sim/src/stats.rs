@@ -204,10 +204,7 @@ impl RunStats {
     /// accesses, local + snoop (Table 3, "% of All Accesses"; paper
     /// average 55%).
     pub fn snoop_miss_fraction_of_all(&self) -> f64 {
-        ratio(
-            self.nodes.snoop_would_miss,
-            self.nodes.l2_local_accesses + self.nodes.snoops_seen,
-        )
+        ratio(self.nodes.snoop_would_miss, self.nodes.l2_local_accesses + self.nodes.snoops_seen)
     }
 
     /// Snoop accesses as a multiple of local L2 accesses (the paper's
@@ -253,7 +250,8 @@ mod tests {
     #[test]
     fn merge_sums_all_fields() {
         let mut a = NodeStats { l1_accesses: 1, snoops_seen: 2, ..NodeStats::default() };
-        let b = NodeStats { l1_accesses: 3, snoops_seen: 4, bus_upgrades: 5, ..NodeStats::default() };
+        let b =
+            NodeStats { l1_accesses: 3, snoops_seen: 4, bus_upgrades: 5, ..NodeStats::default() };
         a.merge(&b);
         assert_eq!(a.l1_accesses, 4);
         assert_eq!(a.snoops_seen, 6);

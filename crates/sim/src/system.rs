@@ -305,8 +305,7 @@ impl System {
                             self.complete_store(cpu, unit);
                             AccessOutcome { l1_hit: false, l2_hit: false, bus: None }
                         } else {
-                            let response =
-                                self.bus_transaction(cpu, unit, BusKind::ReadExclusive);
+                            let response = self.bus_transaction(cpu, unit, BusKind::ReadExclusive);
                             let version = self.incoming_version(unit, &response);
                             self.install(cpu, unit, Moesi::Modified, version);
                             self.fill_l1(cpu, unit, true);
@@ -443,7 +442,12 @@ impl System {
 
     /// Executes one bus transaction: drains a writeback slot, snoops every
     /// remote node, aggregates the response, updates the histogram.
-    fn bus_transaction(&mut self, requester: usize, unit: UnitAddr, kind: BusKind) -> SnoopResponse {
+    fn bus_transaction(
+        &mut self,
+        requester: usize,
+        unit: UnitAddr,
+        kind: BusKind,
+    ) -> SnoopResponse {
         // Bus acquired: the oldest pending writeback of the requester rides
         // along (simple drain policy; keeps WB occupancy bounded).
         if let Some(entry) = self.nodes[requester].wb.drain_one() {
@@ -481,11 +485,8 @@ impl System {
         let would_hit = self.nodes[i].l2.state(unit).is_valid();
         // On a miss, distinguish a whole-tag miss (the entire block absent:
         // exclude filters may record it) from a partial one.
-        let scope = if self.nodes[i].l2.block_present(unit) {
-            MissScope::Unit
-        } else {
-            MissScope::Block
-        };
+        let scope =
+            if self.nodes[i].l2.block_present(unit) { MissScope::Unit } else { MissScope::Block };
         // A writeback retired to memory as part of this snoop (borrow of
         // the node ends before memory is updated).
         let mut retired: Option<WbEntry> = None;
@@ -618,10 +619,8 @@ impl System {
         }
         let states: Vec<Moesi> = self.nodes.iter().map(|n| n.l2.state(unit)).collect();
         let valid = states.iter().filter(|s| s.is_valid()).count();
-        let exclusive = states
-            .iter()
-            .filter(|s| matches!(s, Moesi::Modified | Moesi::Exclusive))
-            .count();
+        let exclusive =
+            states.iter().filter(|s| matches!(s, Moesi::Modified | Moesi::Exclusive)).count();
         let owners = states.iter().filter(|s| **s == Moesi::Owned).count();
         assert!(exclusive <= 1, "multiple M/E holders of {unit}: {states:?}");
         assert!(owners <= 1, "multiple O holders of {unit}: {states:?}");
@@ -719,11 +718,7 @@ impl System {
             for f in &mut node.filters {
                 for &u in &units {
                     let v = f.probe(u);
-                    assert!(
-                        !v.is_filtered(),
-                        "{} filters cached unit {u}",
-                        f.name()
-                    );
+                    assert!(!v.is_filtered(), "{} filters cached unit {u}", f.name());
                 }
             }
         }
@@ -739,7 +734,7 @@ mod tests {
     fn tiny(specs: &[FilterSpec]) -> System {
         let config = SystemConfig {
             cpus: 4,
-            l1: L1Config::new(256, 32),   // 8 lines
+            l1: L1Config::new(256, 32),     // 8 lines
             l2: L2Config::new(1024, 64, 2), // 16 blocks, 32 units
             wb_entries: 4,
             addr: AddrSpace::default(),
@@ -862,7 +857,7 @@ mod tests {
         let mut sys = tiny(&[]);
         sys.access(0, Op::Write, 0x0);
         sys.access(0, Op::Read, 0x400); // evict dirty unit into WB
-        // Immediately read from another node: WB must supply.
+                                        // Immediately read from another node: WB must supply.
         sys.access(1, Op::Read, 0x0);
         assert!(sys.node_stats(0).wb_snoop_hits >= 1);
     }
@@ -873,7 +868,7 @@ mod tests {
         // Node 0 and 1 share; node 0 then owns dirty (O) after node 1 reads.
         sys.access(0, Op::Write, 0x0); // M at 0
         sys.access(1, Op::Read, 0x0); // 0:O, 1:S
-        // Evict node 0's O copy into its WB.
+                                      // Evict node 0's O copy into its WB.
         sys.access(0, Op::Read, 0x400);
         assert_eq!(sys.l2_state(0, 0x0), Moesi::Invalid);
         // Node 1 upgrades its S copy: the pending WB entry is superseded.
@@ -933,11 +928,7 @@ mod tests {
         let report = &sys.filter_reports()[0];
         assert!(report.would_miss > 0);
         // Disjoint working sets are the IJ's best case.
-        assert!(
-            report.coverage() > 0.9,
-            "IJ coverage unexpectedly low: {}",
-            report.coverage()
-        );
+        assert!(report.coverage() > 0.9, "IJ coverage unexpectedly low: {}", report.coverage());
     }
 
     #[test]

@@ -45,11 +45,8 @@ impl WritebackBuffer {
     /// Queues a dirty unit. If the buffer is full, the oldest entry is
     /// forced out first and returned so the caller can retire it to memory.
     pub fn push(&mut self, entry: WbEntry) -> Option<WbEntry> {
-        let forced = if self.entries.len() == self.capacity {
-            self.entries.pop_front()
-        } else {
-            None
-        };
+        let forced =
+            if self.entries.len() == self.capacity { self.entries.pop_front() } else { None };
         self.entries.push_back(entry);
         forced
     }

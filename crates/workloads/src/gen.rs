@@ -69,7 +69,11 @@ impl TraceGen {
             })
             .collect();
         let rngs = (0..ncpu)
-            .map(|cpu| SmallRng::seed_from_u64(profile.seed ^ (0x9E37_79B9_7F4A_7C15u64).wrapping_mul(cpu as u64 + 1)))
+            .map(|cpu| {
+                SmallRng::seed_from_u64(
+                    profile.seed ^ (0x9E37_79B9_7F4A_7C15u64).wrapping_mul(cpu as u64 + 1),
+                )
+            })
             .collect();
         let total = ((profile.accesses as f64 * scale).round() as u64).max(ncpu as u64);
         Self {
@@ -114,11 +118,8 @@ impl Iterator for TraceGen {
         self.next_cpu = (self.next_cpu + 1) % self.ncpu;
         let rng = &mut self.rngs[cpu];
         let pick: f64 = rng.gen::<f64>() * self.total_weight;
-        let seg = self
-            .cumulative_weights
-            .iter()
-            .position(|&w| pick < w)
-            .unwrap_or(self.states.len() - 1);
+        let seg =
+            self.cumulative_weights.iter().position(|&w| pick < w).unwrap_or(self.states.len() - 1);
         let out = self.states[seg].next_ref(cpu, rng);
         let op = if out.write { Op::Write } else { Op::Read };
         Some(MemRef { cpu, op, addr: out.addr })

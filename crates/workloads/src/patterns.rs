@@ -128,26 +128,44 @@ impl PatternState {
                 ncpu, hot_bytes, warm_bytes, cold_bytes, p_hot, p_warm, write_frac, placement,
                 layout,
             )),
-            SegmentSpec::Streaming { bytes, refs_per_unit, write_frac, layout: placement, .. } => {
-                PatternState::Streaming(StreamingState::new(
-                    ncpu, bytes, refs_per_unit, write_frac, placement, layout,
-                ))
-            }
+            SegmentSpec::Streaming {
+                bytes, refs_per_unit, write_frac, layout: placement, ..
+            } => PatternState::Streaming(StreamingState::new(
+                ncpu,
+                bytes,
+                refs_per_unit,
+                write_frac,
+                placement,
+                layout,
+            )),
             SegmentSpec::Shared {
-                bytes, hot_bytes, hot_frac, mid_bytes, mid_frac, write_frac, ..
+                bytes,
+                hot_bytes,
+                hot_frac,
+                mid_bytes,
+                mid_frac,
+                write_frac,
+                ..
             } => PatternState::Shared(SharedState::new(
                 bytes, hot_bytes, hot_frac, mid_bytes, mid_frac, write_frac, layout,
             )),
-            SegmentSpec::ProducerConsumer { channels, channel_bytes, consumers, refs_per_unit, .. } => {
-                PatternState::ProducerConsumer(PcState::new(
-                    ncpu, channels, channel_bytes, consumers, refs_per_unit, layout,
-                ))
-            }
-            SegmentSpec::Migratory { records, record_bytes, hold, .. } => {
-                PatternState::Migratory(MigratoryState::new(
-                    ncpu, records, record_bytes, hold, layout,
-                ))
-            }
+            SegmentSpec::ProducerConsumer {
+                channels,
+                channel_bytes,
+                consumers,
+                refs_per_unit,
+                ..
+            } => PatternState::ProducerConsumer(PcState::new(
+                ncpu,
+                channels,
+                channel_bytes,
+                consumers,
+                refs_per_unit,
+                layout,
+            )),
+            SegmentSpec::Migratory { records, record_bytes, hold, .. } => PatternState::Migratory(
+                MigratoryState::new(ncpu, records, record_bytes, hold, layout),
+            ),
         }
     }
 
@@ -194,8 +212,7 @@ impl PrivateState {
         placement: RegionLayout,
         layout: &mut Layout,
     ) -> Self {
-        let regions =
-            CpuRegions::new(ncpu, hot_bytes + warm_bytes + cold_bytes, placement, layout);
+        let regions = CpuRegions::new(ncpu, hot_bytes + warm_bytes + cold_bytes, placement, layout);
         Self {
             regions,
             hot_bytes,
@@ -291,10 +308,7 @@ impl SharedState {
         write_frac: f64,
         layout: &mut Layout,
     ) -> Self {
-        assert!(
-            hot_bytes + mid_bytes <= bytes,
-            "shared hot+mid bands larger than the region"
-        );
+        assert!(hot_bytes + mid_bytes <= bytes, "shared hot+mid bands larger than the region");
         assert!(
             hot_frac >= 0.0 && mid_frac >= 0.0 && hot_frac + mid_frac <= 1.0,
             "shared band fractions out of range"
@@ -446,13 +460,7 @@ pub struct MigratoryState {
 }
 
 impl MigratoryState {
-    fn new(
-        ncpu: usize,
-        records: usize,
-        record_bytes: u64,
-        hold: u64,
-        layout: &mut Layout,
-    ) -> Self {
+    fn new(ncpu: usize, records: usize, record_bytes: u64, hold: u64, layout: &mut Layout) -> Self {
         assert!(records >= ncpu, "need at least one record per CPU");
         assert!(hold >= 1);
         let record_bytes = record_bytes.max(WORD);
@@ -562,8 +570,13 @@ mod tests {
     #[test]
     fn streaming_walks_sequentially() {
         let mut l = layout();
-        let spec =
-            SegmentSpec::Streaming { weight: 1.0, bytes: 4096, refs_per_unit: 2, write_frac: 0.0, layout: RegionLayout::Arena };
+        let spec = SegmentSpec::Streaming {
+            weight: 1.0,
+            bytes: 4096,
+            refs_per_unit: 2,
+            write_frac: 0.0,
+            layout: RegionLayout::Arena,
+        };
         let mut s = PatternState::build(&spec, 1, &mut l);
         let mut r = rng();
         let a0 = s.next_ref(0, &mut r).addr;
@@ -577,8 +590,13 @@ mod tests {
     #[test]
     fn streaming_wraps_at_region_end() {
         let mut l = layout();
-        let spec =
-            SegmentSpec::Streaming { weight: 1.0, bytes: 64, refs_per_unit: 1, write_frac: 0.0, layout: RegionLayout::Arena };
+        let spec = SegmentSpec::Streaming {
+            weight: 1.0,
+            bytes: 64,
+            refs_per_unit: 1,
+            write_frac: 0.0,
+            layout: RegionLayout::Arena,
+        };
         let mut s = PatternState::build(&spec, 1, &mut l);
         let mut r = rng();
         let first = s.next_ref(0, &mut r).addr;
@@ -590,7 +608,15 @@ mod tests {
     #[test]
     fn shared_addresses_come_from_one_region_for_all_cpus() {
         let mut l = layout();
-        let spec = SegmentSpec::Shared { weight: 1.0, bytes: 8192, hot_bytes: 8192, hot_frac: 1.0, mid_bytes: 0, mid_frac: 0.0, write_frac: 0.0 };
+        let spec = SegmentSpec::Shared {
+            weight: 1.0,
+            bytes: 8192,
+            hot_bytes: 8192,
+            hot_frac: 1.0,
+            mid_bytes: 0,
+            mid_frac: 0.0,
+            write_frac: 0.0,
+        };
         let mut s = PatternState::build(&spec, 4, &mut l);
         let mut r = rng();
         for cpu in 0..4 {
@@ -605,7 +631,15 @@ mod tests {
     #[test]
     fn shared_write_frac_generates_stores() {
         let mut l = layout();
-        let spec = SegmentSpec::Shared { weight: 1.0, bytes: 8192, hot_bytes: 8192, hot_frac: 1.0, mid_bytes: 0, mid_frac: 0.0, write_frac: 1.0 };
+        let spec = SegmentSpec::Shared {
+            weight: 1.0,
+            bytes: 8192,
+            hot_bytes: 8192,
+            hot_frac: 1.0,
+            mid_bytes: 0,
+            mid_frac: 0.0,
+            write_frac: 1.0,
+        };
         let mut s = PatternState::build(&spec, 2, &mut l);
         let mut r = rng();
         assert!(s.next_ref(0, &mut r).write);
@@ -656,8 +690,7 @@ mod tests {
     #[test]
     fn migratory_visits_read_read_write() {
         let mut l = layout();
-        let spec =
-            SegmentSpec::Migratory { weight: 1.0, records: 8, record_bytes: 64, hold: 100 };
+        let spec = SegmentSpec::Migratory { weight: 1.0, records: 8, record_bytes: 64, hold: 100 };
         let mut s = PatternState::build(&spec, 4, &mut l);
         let mut r = rng();
         let v1 = s.next_ref(0, &mut r);

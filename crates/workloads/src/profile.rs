@@ -246,7 +246,15 @@ mod tests {
                     write_frac: 0.3,
                     layout: RegionLayout::Arena,
                 },
-                SegmentSpec::Shared { weight: 1.0, bytes: 8192, hot_bytes: 4096, hot_frac: 0.9, mid_bytes: 0, mid_frac: 0.0, write_frac: 0.05 },
+                SegmentSpec::Shared {
+                    weight: 1.0,
+                    bytes: 8192,
+                    hot_bytes: 4096,
+                    hot_frac: 0.9,
+                    mid_bytes: 0,
+                    mid_frac: 0.0,
+                    write_frac: 0.05,
+                },
             ],
         }
     }

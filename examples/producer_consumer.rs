@@ -55,12 +55,7 @@ fn main() {
 
     println!("\n{:<24} {:>9} {:>10}", "filter", "filtered", "coverage");
     for report in smp.filter_reports() {
-        println!(
-            "{:<24} {:>9} {:>9.1}%",
-            report.label,
-            report.filtered,
-            100.0 * report.coverage()
-        );
+        println!("{:<24} {:>9} {:>9.1}%", report.label, report.filtered, 100.0 * report.coverage());
     }
     println!(
         "\nThe EJ thrives here: the bystanders see the same block miss over \

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_baseline.json: wall-clock timings of representative
+# jetty-repro invocations, so successive PRs have a perf trajectory to
+# compare against. Usage: scripts/bench_baseline.sh [reps]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REPS="${1:-3}"
+BIN=target/release/jetty-repro
+
+cargo build --release --bin jetty-repro >/dev/null
+
+# time_ms <args...> -> echoes best-of-REPS milliseconds
+time_ms() {
+    local best=""
+    for _ in $(seq "$REPS"); do
+        local start end ms
+        start=$(date +%s%N)
+        "$BIN" "$@" >/dev/null
+        end=$(date +%s%N)
+        ms=$(( (end - start) / 1000000 ))
+        if [[ -z "$best" || "$ms" -lt "$best" ]]; then best="$ms"; fi
+    done
+    echo "$best"
+}
+
+static_ms=$(time_ms table1 fig2 table4)
+smoke_ms=$(time_ms table2 table3 --scale 0.1)
+energy_ms=$(time_ms fig6 --scale 0.1)
+full_ms=$(time_ms all --scale 1.0)
+
+cat > BENCH_baseline.json <<EOF
+{
+  "schema": 1,
+  "tool": "scripts/bench_baseline.sh",
+  "reps": $REPS,
+  "metric": "best-of-reps wall-clock milliseconds, release build",
+  "toolchain": "$(rustc --version)",
+  "benchmarks": {
+    "repro_static_tables_ms": $static_ms,
+    "repro_table2_table3_scale0.1_ms": $smoke_ms,
+    "repro_fig6_scale0.1_ms": $energy_ms,
+    "repro_all_full_scale_ms": $full_ms
+  }
+}
+EOF
+
+echo "Wrote BENCH_baseline.json:"
+cat BENCH_baseline.json

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The full CI gauntlet, runnable locally. Mirrors .github/workflows/ci.yml.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "==> cargo build --examples --benches"
+cargo build --examples --benches
+
+echo "CI green."

@@ -25,7 +25,11 @@ fn full_suite_respects_filter_safety_under_checking() {
     let runs = run_suite(&checked_options(FilterSpec::paper_bank()));
     assert_eq!(runs.len(), 10);
     for r in &runs {
-        assert!(r.run.nodes.snoop_would_miss > 0, "{} produced no filterable snoops", r.profile.name);
+        assert!(
+            r.run.nodes.snoop_would_miss > 0,
+            "{} produced no filterable snoops",
+            r.profile.name
+        );
     }
 }
 
@@ -124,15 +128,11 @@ fn eight_way_smp_has_more_filterable_traffic() {
     // accesses than on the 4-way.
     let spec = FilterSpec::hybrid_scalar(10, 4, 7, 32, 4);
     let four = run_suite(&RunOptions::paper().with_scale(SCALE).with_specs(vec![spec]));
-    let eight = run_suite(
-        &RunOptions::paper().with_scale(SCALE).with_cpus(8).with_specs(vec![spec]),
-    );
+    let eight =
+        run_suite(&RunOptions::paper().with_scale(SCALE).with_cpus(8).with_specs(vec![spec]));
     let share4 = average(&four, |r| r.run.snoop_miss_fraction_of_all());
     let share8 = average(&eight, |r| r.run.snoop_miss_fraction_of_all());
-    assert!(
-        share8 > share4,
-        "8-way snoop-miss share {share8:.3} not above 4-way {share4:.3}"
-    );
+    assert!(share8 > share4, "8-way snoop-miss share {share8:.3} not above 4-way {share4:.3}");
 }
 
 #[test]
@@ -145,10 +145,7 @@ fn non_subblocked_l2_reduces_ej_coverage() {
     let nsb = run_suite(&options);
     let cov_sb = average(&sb, |r| r.coverage("EJ-32x4"));
     let cov_nsb = average(&nsb, |r| r.coverage("EJ-32x4"));
-    assert!(
-        cov_nsb < cov_sb,
-        "NSB EJ coverage {cov_nsb:.3} not below subblocked {cov_sb:.3}"
-    );
+    assert!(cov_nsb < cov_sb, "NSB EJ coverage {cov_nsb:.3} not below subblocked {cov_sb:.3}");
 }
 
 #[test]

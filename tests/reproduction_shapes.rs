@@ -45,9 +45,8 @@ fn table3_aggregates_match_paper_shape() {
     let runs = run_suite(&RunOptions::paper().with_scale(SCALE).with_specs(vec![]));
     // Paper averages: 79.6% of snoops find no remote copy; 91% of
     // snoop-induced tag accesses miss; misses are 55% of all L2 accesses.
-    let rh0 = average(&runs, |r| {
-        r.run.system.remote_hit_fractions().first().copied().unwrap_or(0.0)
-    });
+    let rh0 =
+        average(&runs, |r| r.run.system.remote_hit_fractions().first().copied().unwrap_or(0.0));
     let miss_of_snoops = average(&runs, |r| r.run.snoop_miss_fraction_of_snoops());
     let miss_of_all = average(&runs, |r| r.run.snoop_miss_fraction_of_all());
     assert!((0.6..=0.95).contains(&rh0), "remote-hit-0 average {rh0:.3} (paper 0.796)");

@@ -1,0 +1,293 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no registry access, so this vendored crate
+//! implements the benchmarking surface the workspace's `benches/` use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! `sample_size`/`throughput`, [`Bencher::iter`] and
+//! [`Bencher::iter_batched_ref`], plus the [`criterion_group!`] /
+//! [`criterion_main!`] macros (`harness = false` targets).
+//!
+//! Measurement model: each benchmark runs one warm-up invocation and then
+//! `sample_size` timed samples, reporting the mean, minimum and maximum
+//! wall-clock time per iteration (and element throughput when configured).
+//! There is no statistical analysis, outlier rejection or HTML report —
+//! the numbers are honest `std::time::Instant` wall-clock means, which is
+//! enough to track the workspace's perf trajectory release-to-release.
+//!
+//! CLI behaviour: benchmark binaries accept and ignore the flags Cargo and
+//! the real criterion pass around (`--bench`, substring filters); with
+//! `--test` each benchmark body runs exactly once so `cargo test --benches`
+//! stays fast.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Number of timed samples when a group never calls `sample_size`.
+const DEFAULT_SAMPLE_SIZE: usize = 10;
+
+/// How work is handed to [`Bencher::iter_batched_ref`] — retained for API
+/// compatibility; this stub sets up one input per timed sample regardless.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch in real criterion.
+    SmallInput,
+    /// Large inputs: one per batch in real criterion.
+    LargeInput,
+    /// Exactly one input per iteration.
+    PerIteration,
+}
+
+/// Declares how much work one iteration performs so throughput can be
+/// reported alongside latency.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Per-benchmark timing state handed to the closure of
+/// [`Criterion::bench_function`].
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Bencher {
+    fn new(sample_size: usize, test_mode: bool) -> Self {
+        Self { samples: Vec::new(), sample_size, test_mode }
+    }
+
+    fn timed_samples(&self) -> usize {
+        if self.test_mode {
+            1
+        } else {
+            self.sample_size.max(1)
+        }
+    }
+
+    /// Times `routine`, running one warm-up plus `sample_size` samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if !self.test_mode {
+            let _ = routine(); // warm-up
+        }
+        for _ in 0..self.timed_samples() {
+            let start = Instant::now();
+            let out = routine();
+            self.samples.push(start.elapsed());
+            drop(out);
+        }
+    }
+
+    /// Times `routine` over a mutable reference to a fresh `setup()` value
+    /// per sample; setup time is excluded from the measurement.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        if !self.test_mode {
+            let mut input = setup();
+            let _ = routine(&mut input); // warm-up
+        }
+        for _ in 0..self.timed_samples() {
+            let mut input = setup();
+            let start = Instant::now();
+            let out = routine(&mut input);
+            self.samples.push(start.elapsed());
+            drop(out);
+        }
+    }
+
+    fn report(&self, id: &str, throughput: Option<Throughput>) {
+        if self.samples.is_empty() {
+            println!("{id:<48} (no samples)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = self.samples.iter().min().copied().unwrap_or_default();
+        let max = self.samples.iter().max().copied().unwrap_or_default();
+        let mut line = format!(
+            "{id:<48} mean {:>12} ns   [min {} ns, max {} ns, n={}]",
+            mean.as_nanos(),
+            min.as_nanos(),
+            max.as_nanos(),
+            self.samples.len()
+        );
+        if let Some(tp) = throughput {
+            let (count, unit) = match tp {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            let secs = mean.as_secs_f64();
+            if secs > 0.0 && count > 0 {
+                line.push_str(&format!("   {:.3} M{unit}/s", count as f64 / secs / 1e6));
+            }
+        }
+        println!("{line}");
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // Flags Cargo / the real criterion CLI pass through.
+                "--bench" | "--verbose" | "--quiet" | "--noplot" => {}
+                other if other.starts_with('-') => {}
+                other => filter = Some(other.to_string()),
+            }
+        }
+        Self { test_mode, filter }
+    }
+}
+
+impl Criterion {
+    fn selected(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    fn run_one(
+        &mut self,
+        id: &str,
+        sample_size: usize,
+        throughput: Option<Throughput>,
+        f: &mut dyn FnMut(&mut Bencher),
+    ) {
+        if !self.selected(id) {
+            return;
+        }
+        let mut bencher = Bencher::new(sample_size, self.test_mode);
+        f(&mut bencher);
+        bencher.report(id, throughput);
+    }
+
+    /// Benchmarks `f` under `id` with the default sample size.
+    pub fn bench_function<S, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        S: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(&id, DEFAULT_SAMPLE_SIZE, None, &mut f);
+        self
+    }
+
+    /// Opens a named group whose benchmarks share sample-size and
+    /// throughput settings.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+            throughput: None,
+        }
+    }
+
+    /// The final configuration step of `criterion_group!`'s default config.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// A group of related benchmarks (`group_name/bench_name` ids).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` as `group/id`.
+    pub fn bench_function<S, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        S: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let (sample_size, throughput) = (self.sample_size, self.throughput);
+        self.criterion.run_one(&id, sample_size, throughput, &mut f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Collects benchmark functions into one runnable group:
+/// `criterion_group!(benches, bench_a, bench_b);`
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` benchmark target:
+/// `criterion_main!(benches);`
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher::new(3, false);
+        b.iter(|| 1 + 1);
+        assert_eq!(b.samples.len(), 3);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut runs = 0;
+        let mut b = Bencher::new(50, true);
+        b.iter_batched_ref(
+            || 0u64,
+            |x| {
+                runs += 1;
+                *x += 1;
+                *x
+            },
+            BatchSize::SmallInput,
+        );
+        assert_eq!(runs, 1);
+        assert_eq!(b.samples.len(), 1);
+    }
+}

@@ -1,0 +1,422 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no registry access, so this vendored crate
+//! implements the subset of proptest the workspace's property tests use:
+//!
+//! * the [`strategy::Strategy`] trait with `prop_map`, implemented for
+//!   integer ranges, tuples, and boxed strategies;
+//! * [`arbitrary::any`] for primitive types;
+//! * [`collection::vec`] with a `Range<usize>` length;
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`],
+//!   [`prop_assert_eq!`] and [`prop_assert_ne!`] macros;
+//! * [`test_runner::ProptestConfig::with_cases`].
+//!
+//! Semantics: each `#[test]` inside [`proptest!`] runs its body
+//! `config.cases` times over inputs drawn from a generator seeded
+//! deterministically from the test's name and the case index, so failures
+//! reproduce run-to-run. There is **no shrinking** — a failing case panics
+//! with the ordinary assertion message. Set the `PROPTEST_CASES`
+//! environment variable to override the case count globally.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Test-run configuration.
+
+    /// Controls how many random cases each property test executes.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random input cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` random inputs per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+
+        /// The case count, honouring the `PROPTEST_CASES` override.
+        pub fn effective_cases(&self) -> u32 {
+            std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(self.cases)
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use core::ops::Range;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// The random source handed to strategies (a deterministic SmallRng).
+    #[derive(Clone, Debug)]
+    pub struct TestRng(SmallRng);
+
+    impl TestRng {
+        /// Derives a generator from a test identifier and case index.
+        pub fn for_case(test_name: &str, case: u64) -> Self {
+            // FNV-1a over the test name, mixed with the case index, so each
+            // property sees a distinct but reproducible stream.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+            }
+            Self(SmallRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+        }
+
+        fn u64_below(&mut self, bound: u64) -> u64 {
+            self.0.gen_range(0..bound)
+        }
+
+        fn f64(&mut self) -> f64 {
+            self.0.gen::<f64>()
+        }
+
+        fn word(&mut self) -> u64 {
+            self.0.gen::<u64>()
+        }
+    }
+
+    /// A generator of random values of type [`Strategy::Value`].
+    ///
+    /// Unlike real proptest there is no value tree and no shrinking: a
+    /// strategy simply draws a value from the [`TestRng`].
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.u64_below(span) as i128) as $t
+                }
+            }
+        )+};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident / $idx:tt),+))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy! {
+        (A / 0)
+        (A / 0, B / 1)
+        (A / 0, B / 1, C / 2)
+        (A / 0, B / 1, C / 2, D / 3)
+        (A / 0, B / 1, C / 2, D / 3, E / 4)
+    }
+
+    /// Weighted union of strategies over one value type; built by
+    /// [`prop_oneof!`](crate::prop_oneof).
+    pub struct Union<V> {
+        arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>,
+    }
+
+    impl<V> Union<V> {
+        /// An empty union; arms are added with [`Union::push`].
+        pub fn empty() -> Self {
+            Self { arms: Vec::new() }
+        }
+
+        /// Adds an arm drawn with probability `weight / total_weight`.
+        pub fn push<S>(&mut self, weight: u32, strategy: S)
+        where
+            S: Strategy<Value = V> + 'static,
+        {
+            assert!(weight > 0, "prop_oneof! weights must be positive");
+            self.arms.push((weight, Box::new(strategy)));
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let total: u64 = self.arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof! needs at least one arm");
+            let mut pick = rng.u64_below(total);
+            for (w, strategy) in &self.arms {
+                if pick < *w as u64 {
+                    return strategy.generate(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)` — handy for probability-style inputs.
+    #[derive(Clone, Copy, Debug)]
+    pub struct UnitF64;
+
+    impl Strategy for UnitF64 {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            rng.f64()
+        }
+    }
+
+    /// Full-width word strategy backing [`any`](crate::arbitrary::any).
+    #[derive(Clone, Copy, Debug)]
+    pub struct AnyWord<T>(pub(crate) core::marker::PhantomData<T>);
+
+    macro_rules! impl_any_word {
+        ($($t:ty),+) => {$(
+            impl Strategy for AnyWord<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.word() as $t
+                }
+            }
+        )+};
+    }
+
+    impl_any_word!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for AnyWord<bool> {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.word() & 1 == 1
+        }
+    }
+
+    impl Strategy for AnyWord<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            rng.f64()
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — the canonical strategy for a type.
+
+    use core::marker::PhantomData;
+
+    use crate::strategy::AnyWord;
+
+    /// Returns the canonical strategy for `T` (full value range for
+    /// integers, fair coin for `bool`, unit interval for `f64`).
+    pub fn any<T>() -> AnyWord<T> {
+        AnyWord(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use core::ops::Range;
+
+    use crate::strategy::{Strategy, TestRng};
+
+    /// Strategy for vectors with lengths drawn from `len` and elements
+    /// from `element`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `vec(element, 1..400)`: vectors of 1..400 generated elements.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range for collection::vec");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.clone().generate(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property test needs, glob-imported.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Alias letting tests write `prop::collection::vec(..)`.
+    pub use crate as prop;
+}
+
+/// Weighted choice between strategies producing one value type:
+/// `prop_oneof![3 => s1, 2 => s2]` picks `s1` 3/5ths of the time.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {{
+        let mut union = $crate::strategy::Union::empty();
+        $(union.push($weight as u32, $strategy);)+
+        union
+    }};
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strategy),+]
+    };
+}
+
+/// `assert!` that names the failing property (no shrinking in this stub).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// `assert_eq!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// `assert_ne!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property tests. Each `#[test]` body runs `cases` times over
+/// inputs drawn from its strategies:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_tests!(config = $config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!(
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        );
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (config = $config:expr;) => {};
+    (
+        config = $config:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            use $crate::strategy::Strategy as _;
+            let config = $config;
+            let cases = config.effective_cases();
+            for case in 0..cases as u64 {
+                let mut rng =
+                    $crate::strategy::TestRng::for_case(concat!(module_path!(), "::", stringify!($name)), case);
+                $(let $pat = (&$strategy).generate(&mut rng);)+
+                $body
+            }
+        }
+
+        $crate::__proptest_tests!(config = $config; $($rest)*);
+    };
+}
