@@ -1,0 +1,54 @@
+//! Parallel-engine benches: serial-vs-parallel suite throughput and the
+//! suite-cache fast path. These pin the value of the worker pool — on a
+//! multi-core host the `parallel_*` entry should beat `serial_1_thread`
+//! roughly by the smaller of the thread count and the ten suite jobs.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use jetty_bench::BENCH_SCALE;
+use jetty_core::FilterSpec;
+use jetty_experiments::{Engine, RunOptions};
+
+/// Ten applications per suite run.
+const SUITE_APPS: u64 = 10;
+
+fn bench_options() -> RunOptions {
+    RunOptions::paper()
+        .with_scale(BENCH_SCALE)
+        .with_specs(vec![FilterSpec::exclude(8, 2), FilterSpec::include(8, 4, 7)])
+}
+
+fn suite_throughput(c: &mut Criterion) {
+    let options = bench_options();
+    let mut group = c.benchmark_group("engine_suite_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(SUITE_APPS));
+
+    group.bench_function("serial_1_thread", |b| {
+        let engine = Engine::new(1);
+        b.iter(|| engine.run_suite_uncached(&options).len())
+    });
+
+    let threads = Engine::default_threads().max(2);
+    group.bench_function(format!("parallel_{threads}_threads"), |b| {
+        let engine = Engine::new(threads);
+        b.iter(|| engine.run_suite_uncached(&options).len())
+    });
+
+    group.finish();
+}
+
+fn cache_fast_path(c: &mut Criterion) {
+    let options = bench_options();
+    let mut group = c.benchmark_group("engine_suite_cache");
+    group.sample_size(10);
+
+    // Warm once; every timed iteration is a pure cache hit.
+    let engine = Engine::new(Engine::default_threads());
+    let _ = engine.run_suite(&options);
+    group.bench_function("cached_hit", |b| b.iter(|| engine.run_suite(&options).len()));
+
+    group.finish();
+}
+
+criterion_group!(benches, suite_throughput, cache_fast_path);
+criterion_main!(benches);

@@ -175,7 +175,14 @@ impl FilterActivity {
 /// [`Verdict::NotCached`] only if `u` is not currently allocated. Filters in
 /// this crate uphold the contract structurally; the substrate re-checks it
 /// in checked mode.
-pub trait SnoopFilter: fmt::Debug {
+///
+/// # Threading
+///
+/// `Send` is a supertrait: a filter (and therefore a whole simulated
+/// system) can be moved to a worker thread, which is how the parallel
+/// experiment engine runs independent simulations concurrently. Filters
+/// are still driven single-threaded — `Sync` is *not* required.
+pub trait SnoopFilter: fmt::Debug + Send {
     /// Probes the filter for a bus snoop to `addr`.
     fn probe(&mut self, addr: UnitAddr) -> Verdict;
 

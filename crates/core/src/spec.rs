@@ -82,6 +82,10 @@ impl FilterSpec {
     }
 
     /// Builds a fresh filter instance for one SMP node.
+    ///
+    /// The returned box is [`Send`] ([`SnoopFilter`] requires it), so a
+    /// built bank — and the simulated system holding it — can be handed to
+    /// a worker thread.
     pub fn build(&self, space: AddrSpace) -> Box<dyn SnoopFilter> {
         match *self {
             FilterSpec::Null => Box::new(NullFilter::new()),
@@ -208,6 +212,14 @@ mod tests {
             let u = UnitAddr::new(0xABC);
             filter.on_allocate(u);
             assert_eq!(filter.probe(u), Verdict::MaybeCached, "{}", spec);
+        }
+    }
+
+    #[test]
+    fn built_filters_are_send() {
+        fn assert_send<T: Send>(_: &T) {}
+        for spec in FilterSpec::paper_bank() {
+            assert_send(&spec.build(AddrSpace::default()));
         }
     }
 

@@ -10,27 +10,42 @@
 //!   compares that against eagerly allocating on every guaranteed miss,
 //!   reporting both coverage and the EJ write traffic the eager policy
 //!   spends.
+//!
+//! Both studies draw their suites from a caller-supplied [`Engine`], so
+//! `jetty-repro all` can prefetch them concurrently with the main suites
+//! (the `*_options` functions expose the exact cache keys to prefetch).
 
 use jetty_core::FilterSpec;
 
+use crate::engine::Engine;
 use crate::report::{pct, Table};
-use crate::runner::{average, run_suite, AppRun, RunOptions};
+use crate::runner::{average, AppRun, RunOptions};
+
+/// The IJ skip values swept by [`ij_skip_ablation`].
+const IJ_SKIPS: [u32; 4] = [2, 4, 6, 8];
+
+/// The suite options (and cache key) behind [`ij_skip_ablation`].
+pub fn ij_skip_options(scale: f64, check: bool) -> RunOptions {
+    let specs = IJ_SKIPS.iter().map(|&s| FilterSpec::include(8, 4, s)).collect();
+    let mut options = RunOptions::paper().with_scale(scale).with_specs(specs);
+    options.check = check;
+    options
+}
 
 /// Sweeps the Include-Jetty index skip from heavy overlap to disjoint
 /// slices (IJ-8x4xS, S in {2, 4, 6, 8}; S = 8 is disjoint) and reports
 /// average coverage across the suite.
-pub fn ij_skip_ablation(scale: f64) -> Table {
-    let skips = [2u32, 4, 6, 8];
-    let specs: Vec<FilterSpec> = skips.iter().map(|&s| FilterSpec::include(8, 4, s)).collect();
-    let options = RunOptions::paper().with_scale(scale).with_specs(specs.clone());
-    let runs = run_suite(&options);
+pub fn ij_skip_ablation(engine: &Engine, scale: f64, check: bool) -> Table {
+    let options = ij_skip_options(scale, check);
+    let specs = options.specs.clone();
+    let runs = engine.run_suite(&options);
 
     let mut t =
         Table::new("Ablation: IJ index overlap (IJ-8x4xS; S=8 disjoint, paper uses overlap)");
     let mut headers = vec!["App".to_string()];
     headers.extend(specs.iter().map(FilterSpec::label));
     t.headers(headers);
-    for r in &runs {
+    for r in runs.iter() {
         let mut row = vec![r.profile.abbrev.to_string()];
         row.extend(specs.iter().map(|s| pct(r.coverage(&s.label()))));
         t.row(row);
@@ -49,17 +64,26 @@ fn ej_writes(run: &AppRun, label: &str) -> u64 {
     report.activities.iter().map(|a| a.arrays.last().map_or(0, |arr| arr.writes)).sum()
 }
 
-/// Compares the paper's backup EJ-allocation policy against the eager
-/// variant on (IJ-9x4x7, EJ-32x4).
-pub fn hj_policy_ablation(scale: f64) -> Table {
+/// The suite options (and cache key) behind [`hj_policy_ablation`].
+pub fn hj_policy_options(scale: f64, check: bool) -> RunOptions {
     let backup = FilterSpec::hybrid_scalar(9, 4, 7, 32, 4);
     let eager = FilterSpec::hybrid_scalar_eager(9, 4, 7, 32, 4);
-    let options = RunOptions::paper().with_scale(scale).with_specs(vec![backup, eager]);
-    let runs = run_suite(&options);
+    let mut options = RunOptions::paper().with_scale(scale).with_specs(vec![backup, eager]);
+    options.check = check;
+    options
+}
+
+/// Compares the paper's backup EJ-allocation policy against the eager
+/// variant on (IJ-9x4x7, EJ-32x4).
+pub fn hj_policy_ablation(engine: &Engine, scale: f64, check: bool) -> Table {
+    let options = hj_policy_options(scale, check);
+    let backup = options.specs[0];
+    let eager = options.specs[1];
+    let runs = engine.run_suite(&options);
 
     let mut t = Table::new("Ablation: HJ EJ-allocation policy (backup = paper)");
     t.headers(["App", "backup cov", "eager cov", "backup EJ writes", "eager EJ writes"]);
-    for r in &runs {
+    for r in runs.iter() {
         t.row([
             r.profile.abbrev.to_string(),
             pct(r.coverage(&backup.label())),
@@ -84,15 +108,34 @@ mod tests {
 
     #[test]
     fn ij_skip_ablation_runs() {
-        let t = ij_skip_ablation(0.002);
+        let t = ij_skip_ablation(&Engine::new(1), 0.002, false);
         assert_eq!(t.len(), 11); // 10 apps + AVG
         assert!(t.render().contains("IJ-8x4x8"));
     }
 
     #[test]
     fn hj_policy_ablation_runs() {
-        let t = hj_policy_ablation(0.002);
+        let t = hj_policy_ablation(&Engine::new(1), 0.002, false);
         assert_eq!(t.len(), 11);
         assert!(t.render().contains("eager"));
+    }
+
+    #[test]
+    fn ablations_share_one_engine_cache() {
+        let engine = Engine::new(2);
+        let a = ij_skip_ablation(&engine, 0.002, false);
+        let b = ij_skip_ablation(&engine, 0.002, false);
+        assert_eq!(a.render(), b.render());
+        assert_eq!(engine.stats().suites_executed, 1);
+        assert_eq!(engine.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn check_flag_reaches_ablation_cache_keys() {
+        assert_ne!(ij_skip_options(0.002, false), ij_skip_options(0.002, true));
+        assert!(hj_policy_options(0.002, true).check);
+        // A checked ablation actually runs (full invariants on).
+        let t = ij_skip_ablation(&Engine::new(2), 0.002, true);
+        assert_eq!(t.len(), 11);
     }
 }

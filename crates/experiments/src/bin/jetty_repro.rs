@@ -3,21 +3,29 @@
 //! Usage:
 //!
 //! ```text
-//! jetty-repro [COMMANDS...] [--scale X] [--cpus N] [--csv DIR] [--check]
+//! jetty-repro [COMMANDS...] [--scale X] [--cpus N] [--threads N] [--csv DIR] [--check]
 //! ```
 //!
 //! One subcommand per paper exhibit; [`COMMANDS`] is the authoritative
 //! list (also printed by `--help`). Default: `all`.
+//!
+//! Every suite-consuming subcommand draws its runs from one shared
+//! [`Engine`]: the needed suites are collected up front and executed
+//! concurrently on `--threads` workers (default: available parallelism,
+//! or `JETTY_THREADS`), then each exhibit renders from the suite cache in
+//! paper order — so output is byte-identical to a sequential run.
 
 use std::env;
 use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
+use jetty_experiments::engine::Engine;
 use jetty_experiments::figures::{self, Fig6Panel};
 use jetty_experiments::report::Table;
-use jetty_experiments::runner::{run_suite, AppRun, RunOptions};
+use jetty_experiments::runner::{AppRun, RunOptions};
 use jetty_experiments::{ablation, tables};
 
 /// Every recognised subcommand, in paper order.
@@ -43,12 +51,23 @@ struct Cli {
     commands: Vec<String>,
     scale: f64,
     cpus: usize,
+    /// `None` = no `--threads` flag; resolved via [`Engine::default_threads`]
+    /// only when an engine is actually built (so an invalid `JETTY_THREADS`
+    /// never warns when it is overridden or unused).
+    threads: Option<usize>,
     csv_dir: Option<PathBuf>,
     check: bool,
 }
 
 fn parse_args() -> Result<Cli, String> {
-    let mut cli = Cli { commands: Vec::new(), scale: 1.0, cpus: 4, csv_dir: None, check: false };
+    let mut cli = Cli {
+        commands: Vec::new(),
+        scale: 1.0,
+        cpus: 4,
+        threads: None,
+        csv_dir: None,
+        check: false,
+    };
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -62,6 +81,21 @@ fn parse_args() -> Result<Cli, String> {
             "--cpus" => {
                 let v = args.next().ok_or("--cpus needs a value")?;
                 cli.cpus = v.parse().map_err(|_| format!("bad cpu count: {v}"))?;
+                if cli.cpus < 2 {
+                    return Err(format!(
+                        "--cpus must be at least 2 (a snoopy SMP needs multiple processors \
+                         on the bus); got {}",
+                        cli.cpus
+                    ));
+                }
+            }
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad thread count: {v}"))?;
+                if n < 1 {
+                    return Err("--threads must be at least 1".into());
+                }
+                cli.threads = Some(n);
             }
             "--csv" => {
                 let v = args.next().ok_or("--csv needs a directory")?;
@@ -70,8 +104,10 @@ fn parse_args() -> Result<Cli, String> {
             "--check" => cli.check = true,
             "--help" | "-h" => {
                 println!(
-                    "jetty-repro [COMMANDS...] [--scale X] [--cpus N] [--csv DIR] [--check]\n\
-                     commands: {}",
+                    "jetty-repro [COMMANDS...] [--scale X] [--cpus N] [--threads N] \
+                     [--csv DIR] [--check]\n\
+                     commands: {}\n\
+                     --threads defaults to available parallelism (env override: JETTY_THREADS)",
                     COMMANDS.join(" ")
                 );
                 std::process::exit(0);
@@ -120,25 +156,67 @@ fn main() -> ExitCode {
 
     let wants = |cmd: &str| cli.commands.iter().any(|c| c == cmd || c == "all");
 
-    // One 4-way suite pass feeds every workload-driven table/figure.
-    let needs_suite = SUITE_COMMANDS.iter().any(|c| wants(c)) || wants("calibrate");
-    let suite: Vec<AppRun> = if needs_suite {
-        let mut options = RunOptions::paper().with_scale(cli.scale).with_cpus(cli.cpus);
+    // One builder so scale/check (and any future all-suite option) stay in
+    // sync across every cache key this process uses.
+    let suite_options = |cpus: usize, non_subblocked: bool| {
+        let mut options = RunOptions::paper().with_scale(cli.scale).with_cpus(cpus);
+        options.non_subblocked = non_subblocked;
         options.check = cli.check;
+        options
+    };
+    // One 4-way suite pass feeds every workload-driven table/figure.
+    let base_options = suite_options(cli.cpus, false);
+    let smp8_options = suite_options(8, false);
+    let nsb_options = suite_options(4, true);
+
+    // Collect every suite the requested commands will consume and run them
+    // through the engine as one concurrent batch; the per-command code
+    // below then renders from the cache, in paper order.
+    let needs_suite = SUITE_COMMANDS.iter().any(|c| wants(c)) || wants("calibrate");
+    let mut prefetch: Vec<RunOptions> = Vec::new();
+    if needs_suite {
+        prefetch.push(base_options.clone());
+    }
+    if wants("smp8") {
+        prefetch.push(smp8_options.clone());
+    }
+    if wants("nsb") {
+        prefetch.push(nsb_options.clone());
+    }
+    if wants("ablation") {
+        prefetch.push(ablation::ij_skip_options(cli.scale, cli.check));
+        prefetch.push(ablation::hj_policy_options(cli.scale, cli.check));
+    }
+    // Size the pool only when suites will actually run, so commands that
+    // never simulate (and explicit `--threads`) skip the env lookup.
+    let engine = if prefetch.is_empty() {
+        Engine::new(1)
+    } else {
+        Engine::new(cli.threads.unwrap_or_else(Engine::default_threads))
+    };
+    if !prefetch.is_empty() {
         let started = Instant::now();
-        let runs = run_suite(&options);
-        let refs: u64 = runs.iter().map(|r| r.refs).sum();
+        let suites = engine.run_suites(&prefetch);
+        // Coalesced requests return the same Arc (e.g. `all --cpus 8`
+        // makes the base and smp8 suites one key); count each once.
+        let mut seen = std::collections::HashSet::new();
+        let refs: u64 = suites
+            .iter()
+            .filter(|s| seen.insert(Arc::as_ptr(s)))
+            .map(|s| s.iter().map(|r| r.refs).sum::<u64>())
+            .sum();
         eprintln!(
-            "[suite: {} apps, {:.1}M refs, {} filter configs, {:.1}s]",
-            runs.len(),
+            "[engine: {} suites ({} jobs, {:.1}M refs) on {} threads, {:.1}s]",
+            seen.len(),
+            engine.stats().jobs_executed,
             refs as f64 / 1e6,
-            options.specs.len(),
+            engine.threads(),
             started.elapsed().as_secs_f64()
         );
-        runs
-    } else {
-        Vec::new()
-    };
+    }
+
+    let suite: Arc<Vec<AppRun>> =
+        if needs_suite { engine.run_suite(&base_options) } else { Arc::new(Vec::new()) };
 
     if wants("table1") {
         emit(&cli, "table1", &tables::table1());
@@ -182,21 +260,20 @@ fn main() -> ExitCode {
         emit(&cli, "calibration", &tables::calibration(&suite));
     }
     if wants("smp8") {
-        let mut options = RunOptions::paper().with_scale(cli.scale).with_cpus(8);
-        options.check = cli.check;
-        let runs = run_suite(&options);
+        let runs = engine.run_suite(&smp8_options);
         emit(&cli, "smp8", &figures::smp8_summary(&runs));
     }
     if wants("nsb") {
-        let mut options = RunOptions::paper().with_scale(cli.scale);
-        options.non_subblocked = true;
-        options.check = cli.check;
-        let runs = run_suite(&options);
+        let runs = engine.run_suite(&nsb_options);
         emit(&cli, "nsb", &figures::nsb_summary(&runs));
     }
     if wants("ablation") {
-        emit(&cli, "ablation_ij_skip", &ablation::ij_skip_ablation(cli.scale));
-        emit(&cli, "ablation_hj_policy", &ablation::hj_policy_ablation(cli.scale));
+        emit(&cli, "ablation_ij_skip", &ablation::ij_skip_ablation(&engine, cli.scale, cli.check));
+        emit(
+            &cli,
+            "ablation_hj_policy",
+            &ablation::hj_policy_ablation(&engine, cli.scale, cli.check),
+        );
     }
 
     ExitCode::SUCCESS

@@ -1,0 +1,420 @@
+//! The parallel experiment engine: a scoped-thread worker pool over a job
+//! graph of `(profile, RunOptions)` simulations, plus a [`SuiteCache`] so
+//! no identical suite is ever simulated twice in one process.
+//!
+//! # Why this exists
+//!
+//! The paper's methodology already collapses the *configuration* axis: one
+//! simulation pass with a bank of bystander filters yields results for
+//! every configuration at once. What remains is the *application* axis —
+//! ten independent suite members per run, and `jetty-repro all` needs
+//! several independent suites (the 4-way base run, the 8-way run, the
+//! non-subblocked run, and two ablation banks). Every one of those
+//! simulations is a pure function of `(profile, RunOptions)`, so they are
+//! embarrassingly parallel; the engine flattens them into one job list and
+//! drains it with a fixed pool of scoped threads.
+//!
+//! # Determinism
+//!
+//! A job's result depends only on its inputs — [`TraceGen`] is a pure
+//! function of `(profile, cpus, scale)` and [`System`] of the trace and
+//! options — so execution order cannot change any result. Jobs write into
+//! pre-assigned slots and suites are reassembled in application order,
+//! making engine output identical to the sequential path byte for byte;
+//! with one thread the engine *is* the sequential path (no threads are
+//! spawned at all).
+//!
+//! # Caching
+//!
+//! [`RunOptions`] is the cache key (hash/eq over `cpus`, `scale` bits,
+//! `check`, the full filter bank, and `non_subblocked`). Consumers ask for
+//! whole suites; [`Engine::run_suites`] coalesces duplicate requests,
+//! simulates only the missing ones, and hands out shared [`Arc`] results.
+//!
+//! [`TraceGen`]: jetty_workloads::TraceGen
+//! [`System`]: jetty_sim::System
+
+use std::collections::HashMap;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+use jetty_workloads::apps;
+
+use crate::runner::{run_app, AppRun, RunOptions};
+
+/// A shared, thread-safe cache of finished suite runs, keyed by the full
+/// [`RunOptions`] (bank included).
+///
+/// # Examples
+///
+/// ```
+/// use jetty_experiments::engine::SuiteCache;
+/// use jetty_experiments::RunOptions;
+///
+/// let cache = SuiteCache::new();
+/// assert!(cache.get(&RunOptions::paper()).is_none());
+/// assert_eq!(cache.len(), 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct SuiteCache {
+    map: Mutex<HashMap<RunOptions, Arc<Vec<AppRun>>>>,
+}
+
+impl SuiteCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a finished suite for exactly these options.
+    pub fn get(&self, options: &RunOptions) -> Option<Arc<Vec<AppRun>>> {
+        self.map.lock().expect("suite cache poisoned").get(options).cloned()
+    }
+
+    /// Stores a finished suite under its options, keeping the first
+    /// insertion canonical: if another thread raced the same key in, its
+    /// result wins and is returned, so every holder of this key ends up
+    /// sharing one allocation.
+    pub fn insert(&self, options: RunOptions, runs: Arc<Vec<AppRun>>) -> Arc<Vec<AppRun>> {
+        self.map.lock().expect("suite cache poisoned").entry(options).or_insert(runs).clone()
+    }
+
+    /// Number of cached suites.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("suite cache poisoned").len()
+    }
+
+    /// `true` when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Monotonic counters describing what an [`Engine`] has done so far.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Suites actually simulated (cache misses).
+    pub suites_executed: u64,
+    /// Suite requests served from the cache (or coalesced with an
+    /// identical request in the same batch).
+    pub cache_hits: u64,
+    /// Individual `(profile, options)` simulation jobs completed.
+    pub jobs_executed: u64,
+}
+
+/// One `(application, suite)` simulation job in a batch's flattened graph.
+#[derive(Clone, Copy)]
+struct Job {
+    suite: usize,
+    app: usize,
+}
+
+/// The worker-pool executor. Built once per process (or per benchmark
+/// iteration) with a fixed thread count; hand it [`RunOptions`] batches and
+/// it returns finished suites in request order.
+///
+/// # Examples
+///
+/// ```
+/// use jetty_core::FilterSpec;
+/// use jetty_experiments::engine::Engine;
+/// use jetty_experiments::RunOptions;
+///
+/// let engine = Engine::new(2);
+/// let options = RunOptions::paper()
+///     .with_scale(0.001)
+///     .with_specs(vec![FilterSpec::exclude(8, 2)]);
+/// let suite = engine.run_suite(&options);
+/// assert_eq!(suite.len(), 10);
+/// // A second identical request is a cache hit: same allocation.
+/// assert!(std::sync::Arc::ptr_eq(&suite, &engine.run_suite(&options)));
+/// ```
+#[derive(Debug)]
+pub struct Engine {
+    threads: usize,
+    cache: SuiteCache,
+    suites_executed: AtomicU64,
+    cache_hits: AtomicU64,
+    jobs_executed: AtomicU64,
+}
+
+impl Engine {
+    /// Builds an engine with a fixed worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1, "the engine needs at least one worker thread");
+        Self {
+            threads,
+            cache: SuiteCache::new(),
+            suites_executed: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            jobs_executed: AtomicU64::new(0),
+        }
+    }
+
+    /// Builds an engine sized by [`Engine::default_threads`].
+    pub fn with_default_threads() -> Self {
+        Self::new(Self::default_threads())
+    }
+
+    /// The default worker count: the `JETTY_THREADS` environment variable
+    /// when set to a positive integer, otherwise the host's available
+    /// parallelism (1 if that cannot be determined).
+    pub fn default_threads() -> usize {
+        if let Ok(v) = std::env::var("JETTY_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+            eprintln!("warning: ignoring invalid JETTY_THREADS={v:?} (want a positive integer)");
+        }
+        thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+    }
+
+    /// The worker count this engine was built with.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The suite cache (for inspection; normal use goes through
+    /// [`Engine::run_suite`]).
+    pub fn cache(&self) -> &SuiteCache {
+        &self.cache
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            suites_executed: self.suites_executed.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            jobs_executed: self.jobs_executed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Runs (or fetches from cache) one full ten-application suite.
+    pub fn run_suite(&self, options: &RunOptions) -> Arc<Vec<AppRun>> {
+        self.run_suites(std::slice::from_ref(options)).pop().expect("one request, one result")
+    }
+
+    /// Runs a batch of suites concurrently, returning them in request
+    /// order.
+    ///
+    /// Requests already in the cache are served from it; duplicate
+    /// requests within the batch are coalesced. Everything left is
+    /// flattened into one `(profile, options)` job list and drained by the
+    /// worker pool, so the 4-way, 8-way, non-subblocked and ablation
+    /// suites of `jetty-repro all` share a single pool instead of running
+    /// back to back.
+    ///
+    /// The single-execution guarantee is per caller: if *external* threads
+    /// share one engine and race identical requests, both may simulate,
+    /// but the cache keeps the first finished result canonical, so every
+    /// caller still receives the same `Arc` (results are deterministic
+    /// either way — only work is duplicated).
+    pub fn run_suites(&self, requests: &[RunOptions]) -> Vec<Arc<Vec<AppRun>>> {
+        let mut fresh: Vec<RunOptions> = Vec::new();
+        for options in requests {
+            if self.cache.get(options).is_some() || fresh.contains(options) {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            } else {
+                fresh.push(options.clone());
+            }
+        }
+
+        for (options, runs) in fresh.iter().zip(self.execute(&fresh)) {
+            self.cache.insert(options.clone(), Arc::new(runs));
+            self.suites_executed.fetch_add(1, Ordering::Relaxed);
+        }
+
+        // `get` after canonicalising `insert`: every caller of a key sees
+        // one shared allocation, even if external threads raced us.
+        requests
+            .iter()
+            .map(|options| self.cache.get(options).expect("suite simulated or cached above"))
+            .collect()
+    }
+
+    /// Runs one suite through the worker pool without consulting or
+    /// filling the cache (the engine-backed replacement for the historical
+    /// sequential [`run_suite`](crate::runner::run_suite); benchmarks use
+    /// it to measure real simulation work).
+    pub fn run_suite_uncached(&self, options: &RunOptions) -> Vec<AppRun> {
+        self.execute(std::slice::from_ref(options)).pop().expect("one suite, one result")
+    }
+
+    /// Executes the job graph for `suites`, returning each suite's runs in
+    /// application order.
+    fn execute(&self, suites: &[RunOptions]) -> Vec<Vec<AppRun>> {
+        if suites.is_empty() {
+            return Vec::new();
+        }
+        let profiles = apps::all();
+        let jobs: Vec<Job> = (0..suites.len())
+            .flat_map(|suite| (0..profiles.len()).map(move |app| Job { suite, app }))
+            .collect();
+
+        let results: Vec<AppRun> = if self.threads == 1 || jobs.len() == 1 {
+            // The sequential path: same loop the pre-engine runner had,
+            // on the caller's thread.
+            jobs.iter().map(|j| run_app(&profiles[j.app], &suites[j.suite])).collect()
+        } else {
+            self.execute_parallel(suites, &profiles, &jobs)
+        };
+        self.jobs_executed.fetch_add(jobs.len() as u64, Ordering::Relaxed);
+
+        let mut out: Vec<Vec<AppRun>> = suites.iter().map(|_| Vec::new()).collect();
+        for (job, run) in jobs.iter().zip(results) {
+            out[job.suite].push(run);
+        }
+        out
+    }
+
+    /// Drains `jobs` with a pool of scoped threads. Workers claim jobs
+    /// through a shared atomic cursor and deposit results into the slot
+    /// matching the job index, so assembly order is independent of
+    /// completion order.
+    fn execute_parallel(
+        &self,
+        suites: &[RunOptions],
+        profiles: &[jetty_workloads::AppProfile],
+        jobs: &[Job],
+    ) -> Vec<AppRun> {
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<AppRun>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+        thread::scope(|scope| {
+            for _ in 0..self.threads.min(jobs.len()) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(i) else { break };
+                    let run = run_app(&profiles[job.app], &suites[job.suite]);
+                    *slots[i].lock().expect("result slot poisoned") = Some(run);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner().expect("result slot poisoned").expect("worker filled every slot")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jetty_core::FilterSpec;
+
+    /// Tiny bank + short traces so the whole module tests in seconds.
+    fn quick(scale: f64) -> RunOptions {
+        RunOptions::paper()
+            .with_scale(scale)
+            .with_specs(vec![FilterSpec::exclude(8, 2), FilterSpec::include(6, 5, 6)])
+    }
+
+    #[test]
+    fn identical_options_run_the_suite_exactly_once() {
+        let engine = Engine::new(2);
+        let first = engine.run_suite(&quick(0.002));
+        let second = engine.run_suite(&quick(0.002));
+        assert!(Arc::ptr_eq(&first, &second), "second request must be served from cache");
+        let stats = engine.stats();
+        assert_eq!(stats.suites_executed, 1);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.jobs_executed, 10);
+        assert_eq!(engine.cache().len(), 1);
+    }
+
+    #[test]
+    fn batch_coalesces_duplicates_like_the_all_command() {
+        // `all` asks for the base suite once per consumer; the batch must
+        // still simulate it once.
+        let engine = Engine::new(2);
+        let options = quick(0.002);
+        let results = engine.run_suites(&[options.clone(), options.clone(), options]);
+        assert_eq!(results.len(), 3);
+        assert!(Arc::ptr_eq(&results[0], &results[1]));
+        assert!(Arc::ptr_eq(&results[1], &results[2]));
+        assert_eq!(engine.stats().suites_executed, 1);
+        assert_eq!(engine.stats().cache_hits, 2);
+    }
+
+    #[test]
+    fn differing_cpus_and_l2_variant_miss_the_cache() {
+        let engine = Engine::new(2);
+        let base = quick(0.002);
+        let eight_way = base.clone().with_cpus(8);
+        let mut nsb = base.clone();
+        nsb.non_subblocked = true;
+        engine.run_suites(&[base, eight_way, nsb]);
+        let stats = engine.stats();
+        assert_eq!(stats.suites_executed, 3, "each variant is a distinct key");
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(engine.cache().len(), 3);
+    }
+
+    #[test]
+    fn differing_scale_check_and_bank_miss_the_cache() {
+        let engine = Engine::new(1);
+        let base = quick(0.002);
+        let mut checked = base.clone();
+        checked.check = true;
+        let rescaled = base.clone().with_scale(0.004);
+        let rebanked = base.clone().with_specs(vec![FilterSpec::exclude(8, 2)]);
+        engine.run_suites(&[base, checked, rescaled, rebanked]);
+        assert_eq!(engine.stats().suites_executed, 4);
+    }
+
+    #[test]
+    fn parallel_results_match_serial_in_order_and_content() {
+        let options = quick(0.004);
+        let serial = Engine::new(1).run_suite(&options);
+        let parallel = Engine::new(4).run_suite(&options);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(parallel.iter()) {
+            assert_eq!(s.profile.abbrev, p.profile.abbrev, "application order must be preserved");
+            assert_eq!(s.refs, p.refs);
+            assert_eq!(s.run, p.run);
+            assert_eq!(s.reports.len(), p.reports.len());
+            for (sr, pr) in s.reports.iter().zip(p.reports.iter()) {
+                assert_eq!(sr.label, pr.label);
+                assert_eq!(sr.filtered, pr.filtered);
+                assert_eq!(sr.would_miss, pr.would_miss);
+                assert_eq!(sr.activities, pr.activities);
+            }
+        }
+    }
+
+    #[test]
+    fn uncached_runs_do_not_touch_the_cache() {
+        let engine = Engine::new(2);
+        let runs = engine.run_suite_uncached(&quick(0.002));
+        assert_eq!(runs.len(), 10);
+        assert!(engine.cache().is_empty());
+        assert_eq!(engine.stats().suites_executed, 0);
+        assert_eq!(engine.stats().jobs_executed, 10);
+    }
+
+    #[test]
+    fn more_threads_than_jobs_is_fine() {
+        let engine = Engine::new(64);
+        assert_eq!(engine.run_suite(&quick(0.002)).len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_is_rejected() {
+        let _ = Engine::new(0);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(Engine::default_threads() >= 1);
+    }
+}

@@ -21,16 +21,25 @@
 //! ```
 //!
 //! Pass `--scale 0.1` for a 10x shorter run, `--cpus 8` for the 8-way
-//! configuration, `--csv DIR` to also dump CSV files.
+//! configuration, `--csv DIR` to also dump CSV files, and `--threads N`
+//! to size the parallel experiment engine (default: available
+//! parallelism, or the `JETTY_THREADS` environment variable).
+//!
+//! Suites are executed by the [`engine`]: a scoped-thread worker pool
+//! over `(profile, options)` simulation jobs with a cache keyed by
+//! [`RunOptions`], so independent suites run concurrently and no
+//! identical suite is simulated twice.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod engine;
 pub mod figures;
 pub mod report;
 pub mod runner;
 pub mod tables;
 
+pub use engine::{Engine, EngineStats, SuiteCache};
 pub use report::Table;
 pub use runner::{average, run_app, run_suite, AppRun, RunOptions};

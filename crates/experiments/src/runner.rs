@@ -7,11 +7,21 @@
 //! bank over an identical reference stream — the same methodology the paper
 //! uses (all organisations evaluated on the same traces).
 
+use std::hash::{Hash, Hasher};
+
 use jetty_core::FilterSpec;
 use jetty_sim::{FilterReport, RunStats, System, SystemConfig};
-use jetty_workloads::{apps, AppProfile, TraceGen};
+use jetty_workloads::{AppProfile, TraceGen};
+
+use crate::engine::Engine;
 
 /// Options for a reproduction run.
+///
+/// `RunOptions` doubles as the [`SuiteCache`](crate::engine::SuiteCache)
+/// key: equality and hashing cover every field that changes simulation
+/// output — `cpus`, the exact bit pattern of `scale`, `check`, the full
+/// filter bank (order included, since report order follows bank order),
+/// and `non_subblocked`.
 #[derive(Clone, Debug)]
 pub struct RunOptions {
     /// Processors on the bus (4 for the base tables, 8 for §4.3.4).
@@ -77,6 +87,31 @@ impl Default for RunOptions {
     }
 }
 
+// Manual key impls: `scale` is an `f64`, compared and hashed by bit
+// pattern. Identical bits mean an identical trace length; NaN scales are
+// rejected by `TraceGen` long before they could reach a cache.
+impl PartialEq for RunOptions {
+    fn eq(&self, other: &Self) -> bool {
+        self.cpus == other.cpus
+            && self.scale.to_bits() == other.scale.to_bits()
+            && self.check == other.check
+            && self.specs == other.specs
+            && self.non_subblocked == other.non_subblocked
+    }
+}
+
+impl Eq for RunOptions {}
+
+impl Hash for RunOptions {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.cpus.hash(state);
+        self.scale.to_bits().hash(state);
+        self.check.hash(state);
+        self.specs.hash(state);
+        self.non_subblocked.hash(state);
+    }
+}
+
 /// Everything collected from one application run.
 #[derive(Clone, Debug)]
 pub struct AppRun {
@@ -126,9 +161,14 @@ pub fn run_app(profile: &AppProfile, options: &RunOptions) -> AppRun {
     }
 }
 
-/// Runs the full ten-application suite.
+/// Runs the full ten-application suite sequentially on the calling
+/// thread.
+///
+/// This is the single-threaded, uncached entry into the
+/// [`Engine`](crate::engine::Engine); callers that want concurrency or
+/// suite reuse should hold an engine themselves (as `jetty-repro` does).
 pub fn run_suite(options: &RunOptions) -> Vec<AppRun> {
-    apps::all().iter().map(|p| run_app(p, options)).collect()
+    Engine::new(1).run_suite_uncached(options)
 }
 
 /// Weighted-equal average of a metric over a suite (the paper's "AVG"
@@ -143,6 +183,7 @@ pub fn average<F: Fn(&AppRun) -> f64>(runs: &[AppRun], f: F) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use jetty_workloads::apps;
 
     fn quick_options() -> RunOptions {
         RunOptions::paper()
@@ -187,6 +228,31 @@ mod tests {
         let avg = average(&runs, |r| r.run.nodes.l1_hit_rate());
         assert!((0.0..=1.0).contains(&avg));
         assert_eq!(average(&[], |_| 1.0), 0.0);
+    }
+
+    #[test]
+    fn run_options_key_semantics() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+
+        fn h(o: &RunOptions) -> u64 {
+            let mut s = DefaultHasher::new();
+            o.hash(&mut s);
+            s.finish()
+        }
+
+        let base = quick_options();
+        assert_eq!(base, base.clone());
+        assert_eq!(h(&base), h(&base.clone()));
+        assert_ne!(base, base.clone().with_cpus(8));
+        assert_ne!(base, base.clone().with_scale(0.02));
+        assert_ne!(base, base.clone().with_specs(vec![FilterSpec::exclude(8, 2)]));
+        let mut checked = base.clone();
+        checked.check = true;
+        assert_ne!(base, checked);
+        let mut nsb = base.clone();
+        nsb.non_subblocked = true;
+        assert_ne!(base, nsb);
     }
 
     #[test]

@@ -1,0 +1,56 @@
+//! End-to-end tests of the `jetty-repro` binary's argument handling.
+
+use std::process::{Command, Output};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_jetty-repro"))
+        .args(args)
+        .output()
+        .expect("failed to spawn jetty-repro")
+}
+
+#[test]
+fn rejects_cpu_counts_below_two() {
+    for cpus in ["0", "1"] {
+        let out = repro(&["table2", "--cpus", cpus, "--scale", "0.001"]);
+        assert!(!out.status.success(), "--cpus {cpus} must be rejected");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("--cpus must be at least 2"),
+            "unhelpful error for --cpus {cpus}: {stderr}"
+        );
+        assert!(out.stdout.is_empty(), "no tables before the error");
+    }
+}
+
+#[test]
+fn rejects_non_numeric_cpus() {
+    let out = repro(&["table2", "--cpus", "four"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad cpu count"));
+}
+
+#[test]
+fn rejects_zero_threads() {
+    let out = repro(&["table1", "--threads", "0"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--threads must be at least 1"));
+}
+
+#[test]
+fn help_documents_threads_flag() {
+    let out = repro(&["--help"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("--threads"));
+    assert!(stdout.contains("JETTY_THREADS"));
+}
+
+#[test]
+fn static_tables_run_with_explicit_threads() {
+    let out = repro(&["table1", "table4", "--threads", "2"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Table 1"), "table1 missing: {stdout}");
+    assert!(stdout.contains("Table 4"), "table4 missing: {stdout}");
+}

@@ -184,7 +184,7 @@ impl SystemStats {
 
 /// Aggregate of one simulation run: all nodes plus the system counters,
 /// with the paper's derived metrics.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RunStats {
     /// Aggregated per-node counters.
     pub nodes: NodeStats,

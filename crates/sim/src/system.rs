@@ -108,6 +108,11 @@ impl FilterReport {
 }
 
 /// The simulated SMP.
+///
+/// A `System` owns all of its state (caches, writeback buffers, filter
+/// banks, checker maps) and is `Send`: the parallel experiment engine moves
+/// whole systems onto worker threads and runs independent simulations
+/// concurrently. Nothing is shared between systems, so no `Sync` is needed.
 pub struct System {
     config: SystemConfig,
     space: AddrSpace,
@@ -121,6 +126,12 @@ pub struct System {
     /// Latest version ever written per unit (checker; absent = 0).
     latest_versions: HashMap<u64, u64>,
 }
+
+// Compile-time audit that a whole simulated system can move across
+// threads (filters carry the `Send` supertrait; everything else is owned
+// plain data). Breaking this breaks the parallel experiment engine.
+const _: fn() = assert_send::<System>;
+fn assert_send<T: Send>() {}
 
 impl System {
     /// Builds a system with one filter per spec per node.

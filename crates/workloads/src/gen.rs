@@ -28,6 +28,10 @@ use crate::profile::AppProfile;
 /// assert_eq!(first.cpu, 0);
 /// assert!(gen.len() > 0);
 /// ```
+///
+/// `TraceGen` is `Send` (owned RNGs and pattern state, nothing shared):
+/// the parallel experiment engine builds one generator per job and moves
+/// it onto a worker thread together with the system it feeds.
 #[derive(Clone, Debug)]
 pub struct TraceGen {
     rngs: Vec<SmallRng>,
@@ -40,6 +44,11 @@ pub struct TraceGen {
     next_cpu: usize,
     footprint: u64,
 }
+
+// Compile-time audit: trace generation must stay movable to worker
+// threads for the parallel experiment engine.
+const _: fn() = assert_send::<TraceGen>;
+fn assert_send<T: Send>() {}
 
 impl TraceGen {
     /// Builds a generator for `profile` on an `ncpu`-way SMP, scaling the

@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # Regenerates BENCH_baseline.json: wall-clock timings of representative
 # jetty-repro invocations, so successive PRs have a perf trajectory to
-# compare against. Usage: scripts/bench_baseline.sh [reps]
+# compare against. Schema 2 records the host thread count and times the
+# full reproduction both sequentially (--threads 1) and on the parallel
+# engine (--threads <nproc>). Usage: scripts/bench_baseline.sh [reps]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 REPS="${1:-3}"
 BIN=target/release/jetty-repro
+THREADS="$(nproc)"
 
 cargo build --release --bin jetty-repro >/dev/null
 
@@ -24,23 +27,28 @@ time_ms() {
     echo "$best"
 }
 
+# Everything but the parallel entry pins --threads 1 so the values stay
+# comparable with the schema-1 serial trajectory on any host.
 static_ms=$(time_ms table1 fig2 table4)
-smoke_ms=$(time_ms table2 table3 --scale 0.1)
-energy_ms=$(time_ms fig6 --scale 0.1)
-full_ms=$(time_ms all --scale 1.0)
+smoke_ms=$(time_ms table2 table3 --scale 0.1 --threads 1)
+energy_ms=$(time_ms fig6 --scale 0.1 --threads 1)
+full_ms=$(time_ms all --scale 1.0 --threads 1)
+full_parallel_ms=$(time_ms all --scale 1.0 --threads "$THREADS")
 
 cat > BENCH_baseline.json <<EOF
 {
-  "schema": 1,
+  "schema": 2,
   "tool": "scripts/bench_baseline.sh",
   "reps": $REPS,
+  "threads": $THREADS,
   "metric": "best-of-reps wall-clock milliseconds, release build",
   "toolchain": "$(rustc --version)",
   "benchmarks": {
     "repro_static_tables_ms": $static_ms,
     "repro_table2_table3_scale0.1_ms": $smoke_ms,
     "repro_fig6_scale0.1_ms": $energy_ms,
-    "repro_all_full_scale_ms": $full_ms
+    "repro_all_full_scale_ms": $full_ms,
+    "repro_all_full_scale_parallel_ms": $full_parallel_ms
   }
 }
 EOF

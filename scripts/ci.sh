@@ -16,4 +16,7 @@ cargo test -q
 echo "==> cargo build --examples --benches"
 cargo build --examples --benches
 
+echo "==> parallel engine smoke: jetty-repro all --scale 0.02 --threads 2"
+target/release/jetty-repro all --scale 0.02 --threads 2 >/dev/null
+
 echo "CI green."
