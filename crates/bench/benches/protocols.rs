@@ -1,0 +1,44 @@
+//! Per-protocol snoop-path throughput: the same sharing-heavy trace
+//! driven through MOESI, MESI and MSI systems with the paper's best
+//! hybrid attached. Pins the cost of the pluggable-protocol indirection
+//! (the `CoherenceProtocol` vtable on the snoop path) and the relative
+//! simulation cost of each protocol's extra traffic (MSI pays more
+//! upgrade transactions, MESI/MSI pay snoop-time memory updates).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use jetty_core::FilterSpec;
+use jetty_sim::{MemRef, ProtocolKind, System, SystemConfig};
+use jetty_workloads::{apps, TraceGen};
+
+fn trace(scale: f64) -> Vec<MemRef> {
+    // `unstructured` is the suite's sharing-heaviest profile: the most
+    // snoop hits, so protocol reactions dominate.
+    TraceGen::new(&apps::unstructured(), 4, scale).collect()
+}
+
+fn protocol_throughput(c: &mut Criterion) {
+    let refs = trace(0.02);
+    let mut group = c.benchmark_group("protocol_snoop_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(refs.len() as u64));
+
+    for kind in ProtocolKind::ALL {
+        let name = format!("{}_best_hybrid_unchecked", kind.to_string().to_lowercase());
+        group.bench_function(name, |b| {
+            b.iter_batched_ref(
+                || {
+                    System::new(
+                        SystemConfig::paper_4way().without_checks().with_protocol(kind),
+                        &[FilterSpec::hybrid_scalar(10, 4, 7, 32, 4)],
+                    )
+                },
+                |sys| sys.run(refs.iter().copied()),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, protocol_throughput);
+criterion_main!(benches);

@@ -72,7 +72,7 @@ struct Entry {
     stamp: u64,
 }
 
-/// The Exclude-Jetty filter. See the [module docs](self) for semantics.
+/// The Exclude-Jetty filter. See the module docs for semantics.
 ///
 /// # Examples
 ///

@@ -135,7 +135,7 @@ impl HybridConfig {
     }
 }
 
-/// The Hybrid-Jetty filter. See the [module docs](self).
+/// The Hybrid-Jetty filter. See the module docs.
 ///
 /// # Examples
 ///

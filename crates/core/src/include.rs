@@ -111,7 +111,7 @@ impl IncludeConfig {
     }
 }
 
-/// The Include-Jetty filter. See the [module docs](self).
+/// The Include-Jetty filter. See the module docs.
 ///
 /// # Examples
 ///

@@ -80,7 +80,7 @@ struct Entry {
     stamp: u64,
 }
 
-/// The Vector-Exclude-Jetty filter. See the [module docs](self).
+/// The Vector-Exclude-Jetty filter. See the module docs.
 ///
 /// # Examples
 ///

@@ -1,9 +1,8 @@
 //! Full-run energy accounting (paper §4.4, Figure 6).
 //!
-//! Consumes the raw event counts of a finished simulation
-//! ([`RunStats`](jetty_sim::RunStats)) plus one filter's coverage/activity
-//! report ([`FilterReport`](jetty_sim::FilterReport)) and produces energy
-//! totals for two L2 organisations:
+//! Consumes the raw event counts of a finished simulation ([`RunStats`])
+//! plus one filter's coverage/activity report ([`FilterReport`]) and
+//! produces energy totals for two L2 organisations:
 //!
 //! * **Serial** tag/data access (Alpha 21164, Intel Xeon style): the data
 //!   array is touched only when actually needed;
@@ -182,6 +181,23 @@ impl SmpEnergyModel {
         EnergyBreakdown { local_tag, local_data, snoop_tag, snoop_data, wb, filter: filter_energy }
     }
 
+    /// Energy of the run's memory write traffic: every writeback-buffer
+    /// drain plus every snoop-time memory update (the `M → S` downgrades
+    /// MESI/MSI pay on dirty supplies, [`NodeStats::memory_writebacks`])
+    /// drives one coherence unit over the off-chip bus.
+    ///
+    /// This term is deliberately *not* part of [`EnergyBreakdown`]: the
+    /// paper's Figure 6 scopes its denominators to the L2/WB/filter stack,
+    /// and a filter never changes memory traffic anyway. It exists for the
+    /// protocol comparison (`jetty-repro protocols`), where the traffic
+    /// itself is the protocol-dependent quantity.
+    ///
+    /// [`NodeStats::memory_writebacks`]: jetty_sim::NodeStats::memory_writebacks
+    pub fn memory_writeback_energy(&self, run: &RunStats) -> f64 {
+        let bits_per_transfer = (self.l2.geometry().subblock_bytes() * 8) as f64;
+        run.nodes.memory_writebacks() as f64 * bits_per_transfer * self.tech.e_bus_per_bit
+    }
+
     /// Figure 6 (a)/(c): energy reduction over all snoop accesses.
     pub fn snoop_energy_reduction(
         &self,
@@ -318,6 +334,21 @@ mod tests {
             model.snoop_energy_reduction(&run, hi, AccessMode::Serial)
                 > model.snoop_energy_reduction(&run, lo, AccessMode::Serial)
         );
+    }
+
+    #[test]
+    fn memory_writeback_energy_follows_the_traffic() {
+        let model = SmpEnergyModel::paper_node();
+        let mut run = RunStats::default();
+        assert_eq!(model.memory_writeback_energy(&run), 0.0);
+        run.nodes.wb_drains = 10;
+        let drains_only = model.memory_writeback_energy(&run);
+        assert!(drains_only > 0.0);
+        run.nodes.snoop_memory_writebacks = 10;
+        let with_snoop_updates = model.memory_writeback_energy(&run);
+        assert!((with_snoop_updates - 2.0 * drains_only).abs() < 1e-18);
+        // One 32-byte transfer at 20 pJ/bit.
+        assert!((drains_only / 10.0 - 32.0 * 8.0 * 20.0e-12).abs() < 1e-15);
     }
 
     #[test]

@@ -4,8 +4,8 @@
 //! subblocking, tag width) into the per-event energies the accounting
 //! layer multiplies by event counts: tag-set probes, tag-entry writes, and
 //! data reads/writes at subblock and block granularity. Arrays are banked
-//! with [`optimize_array`](crate::cacti_lite::optimize_array), matching the
-//! paper's use of CACTI for bank selection.
+//! with [`optimize_array`], matching the paper's use of CACTI for bank
+//! selection.
 
 use crate::cacti_lite::{optimize_array, optimize_array_constrained, BankedArray};
 use crate::kamble_ghose::CamArray;

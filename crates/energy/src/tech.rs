@@ -1,7 +1,7 @@
 //! Technology parameters for the energy model.
 //!
 //! The paper assumes a 0.18 µm CMOS process at 1.8 V with the interconnect
-//! characteristics of Cong et al. [5]. The constants below are
+//! characteristics of Cong et al. (the paper's source \[5\]). The constants below are
 //! representative published values for that generation; the absolute
 //! numbers matter less than their ratios (the paper reports only relative
 //! energies), but they are kept in real units (farads, volts, joules) so
@@ -43,6 +43,11 @@ pub struct TechParams {
     /// count); this is what makes over-banking unprofitable for small
     /// arrays.
     pub e_bank_stage: f64,
+    /// Energy per bit driven over the off-chip memory bus (pads + traces);
+    /// orders of magnitude above on-chip array bits, which is why the
+    /// protocol-dependent memory-writeback traffic matters (Table 1's "L2
+    /// pads" column is the same physics).
+    pub e_bus_per_bit: f64,
 }
 
 impl TechParams {
@@ -62,6 +67,7 @@ impl TechParams {
             e_output_per_bit: 0.02e-12,
             e_cam_compare_per_bit: 0.01e-12,
             e_bank_stage: 2.0e-12,
+            e_bus_per_bit: 20.0e-12,
         }
     }
 }

@@ -1,7 +1,7 @@
 //! Table 1 of the paper: peak-power breakdown of the 400 MHz Intel
 //! Pentium II Xeon, whose L2 is built from external custom SRAMs, making
-//! separate core/L2/pad power figures available (sources [6], [9] of the
-//! paper).
+//! separate core/L2/pad power figures available (sources \[6\], \[9\] of
+//! the paper).
 //!
 //! The absolute watts are published data; the two fraction columns are
 //! derived. `jetty-repro table1` recomputes and prints the full table.

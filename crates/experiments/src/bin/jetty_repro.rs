@@ -26,9 +26,10 @@ use jetty_experiments::engine::Engine;
 use jetty_experiments::figures::{self, Fig6Panel};
 use jetty_experiments::report::Table;
 use jetty_experiments::runner::{AppRun, RunOptions};
-use jetty_experiments::{ablation, tables};
+use jetty_experiments::{ablation, protocols, tables};
 
-/// Every recognised subcommand, in paper order.
+/// Every recognised subcommand: the paper's exhibits in paper order, then
+/// the extensions (`protocols` is *not* part of `all` — see [`usage`]).
 const COMMANDS: &[&str] = &[
     "all",
     "table1",
@@ -45,7 +46,22 @@ const COMMANDS: &[&str] = &[
     "nsb",
     "calibrate",
     "ablation",
+    "protocols",
 ];
+
+/// The `--help` text (stdout, exit 0 — distinct from the unknown-flag
+/// error path, which goes to stderr and exits nonzero).
+fn usage() -> String {
+    format!(
+        "jetty-repro [COMMANDS...] [--scale X] [--cpus N] [--threads N] \
+         [--csv DIR] [--check]\n\
+         commands: {}\n\
+         `all` regenerates every paper exhibit; `protocols` (the \
+         MOESI/MESI/MSI sweep) is opt-in and not part of `all`\n\
+         --threads defaults to available parallelism (env override: JETTY_THREADS)",
+        COMMANDS.join(" ")
+    )
+}
 
 struct Cli {
     commands: Vec<String>,
@@ -59,7 +75,14 @@ struct Cli {
     check: bool,
 }
 
-fn parse_args() -> Result<Cli, String> {
+/// Outcome of argument parsing: a run to perform, or an informational
+/// request (help) that short-circuits with success.
+enum Parsed {
+    Run(Cli),
+    Help,
+}
+
+fn parse_args() -> Result<Parsed, String> {
     let mut cli = Cli {
         commands: Vec::new(),
         scale: 1.0,
@@ -102,16 +125,7 @@ fn parse_args() -> Result<Cli, String> {
                 cli.csv_dir = Some(PathBuf::from(v));
             }
             "--check" => cli.check = true,
-            "--help" | "-h" => {
-                println!(
-                    "jetty-repro [COMMANDS...] [--scale X] [--cpus N] [--threads N] \
-                     [--csv DIR] [--check]\n\
-                     commands: {}\n\
-                     --threads defaults to available parallelism (env override: JETTY_THREADS)",
-                    COMMANDS.join(" ")
-                );
-                std::process::exit(0);
-            }
+            "--help" | "-h" => return Ok(Parsed::Help),
             cmd if !cmd.starts_with('-') => {
                 if !COMMANDS.contains(&cmd) {
                     return Err(format!(
@@ -127,7 +141,7 @@ fn parse_args() -> Result<Cli, String> {
     if cli.commands.is_empty() {
         cli.commands.push("all".to_string());
     }
-    Ok(cli)
+    Ok(Parsed::Run(cli))
 }
 
 /// Commands that need a full 4-way suite run.
@@ -147,7 +161,11 @@ fn emit(cli: &Cli, name: &str, table: &Table) {
 
 fn main() -> ExitCode {
     let cli = match parse_args() {
-        Ok(cli) => cli,
+        Ok(Parsed::Run(cli)) => cli,
+        Ok(Parsed::Help) => {
+            println!("{}", usage());
+            return ExitCode::SUCCESS;
+        }
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
@@ -155,6 +173,11 @@ fn main() -> ExitCode {
     };
 
     let wants = |cmd: &str| cli.commands.iter().any(|c| c == cmd || c == "all");
+    // `protocols` extends the reproduction beyond the paper's exhibits, so
+    // it must be requested by name: folding it into `all` would change
+    // `jetty-repro all` output, which is kept byte-comparable across
+    // versions.
+    let wants_protocols = cli.commands.iter().any(|c| c == "protocols");
 
     // One builder so scale/check (and any future all-suite option) stay in
     // sync across every cache key this process uses.
@@ -186,6 +209,9 @@ fn main() -> ExitCode {
     if wants("ablation") {
         prefetch.push(ablation::ij_skip_options(cli.scale, cli.check));
         prefetch.push(ablation::hj_policy_options(cli.scale, cli.check));
+    }
+    if wants_protocols {
+        prefetch.extend(protocols::protocols_prefetch(cli.scale, cli.check));
     }
     // Size the pool only when suites will actually run, so commands that
     // never simulate (and explicit `--threads`) skip the env lookup.
@@ -274,6 +300,9 @@ fn main() -> ExitCode {
             "ablation_hj_policy",
             &ablation::hj_policy_ablation(&engine, cli.scale, cli.check),
         );
+    }
+    if wants_protocols {
+        emit(&cli, "protocols", &protocols::protocols_table(&engine, cli.scale, cli.check));
     }
 
     ExitCode::SUCCESS

@@ -164,17 +164,27 @@ impl Engine {
 
     /// The default worker count: the `JETTY_THREADS` environment variable
     /// when set to a positive integer, otherwise the host's available
-    /// parallelism (1 if that cannot be determined).
+    /// parallelism (1 if that cannot be determined — logged once per
+    /// process, since silently dropping to a single worker on a big host
+    /// is worth knowing about).
     pub fn default_threads() -> usize {
-        if let Ok(v) = std::env::var("JETTY_THREADS") {
-            if let Ok(n) = v.trim().parse::<usize>() {
-                if n >= 1 {
-                    return n;
-                }
-            }
+        let env = std::env::var("JETTY_THREADS").ok();
+        let available = thread::available_parallelism().ok().map(NonZeroUsize::get);
+        let decision = resolve_default_threads(env.as_deref(), available);
+        if let Some(v) = &decision.invalid_env {
             eprintln!("warning: ignoring invalid JETTY_THREADS={v:?} (want a positive integer)");
         }
-        thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+        if decision.host_fallback {
+            static FALLBACK_WARNING: std::sync::Once = std::sync::Once::new();
+            FALLBACK_WARNING.call_once(|| {
+                eprintln!(
+                    "warning: could not determine available parallelism; \
+                     defaulting to 1 worker thread (set JETTY_THREADS or \
+                     --threads to override)"
+                );
+            });
+        }
+        decision.threads
     }
 
     /// The worker count this engine was built with.
@@ -306,6 +316,39 @@ impl Engine {
     }
 }
 
+/// Outcome of the default-thread-count resolution (pure; separated from
+/// [`Engine::default_threads`] so the precedence rules are unit-testable
+/// without mutating process environment or depending on the host).
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct ThreadsDecision {
+    /// The worker count to use.
+    threads: usize,
+    /// The `JETTY_THREADS` value, when present but not a positive integer
+    /// (warned about, then ignored).
+    invalid_env: Option<String>,
+    /// `true` when available parallelism could not be determined and the
+    /// count silently fell back to 1 (logged once per process).
+    host_fallback: bool,
+}
+
+/// Precedence: a valid `JETTY_THREADS` wins; otherwise the host's
+/// available parallelism; otherwise 1 (with `host_fallback` set).
+fn resolve_default_threads(env: Option<&str>, available: Option<usize>) -> ThreadsDecision {
+    let mut invalid_env = None;
+    if let Some(v) = env {
+        match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => {
+                return ThreadsDecision { threads: n, invalid_env: None, host_fallback: false }
+            }
+            _ => invalid_env = Some(v.to_string()),
+        }
+    }
+    match available {
+        Some(n) => ThreadsDecision { threads: n, invalid_env, host_fallback: false },
+        None => ThreadsDecision { threads: 1, invalid_env, host_fallback: true },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -357,6 +400,19 @@ mod tests {
         assert_eq!(stats.suites_executed, 3, "each variant is a distinct key");
         assert_eq!(stats.cache_hits, 0);
         assert_eq!(engine.cache().len(), 3);
+    }
+
+    #[test]
+    fn differing_protocols_miss_the_cache() {
+        use jetty_sim::ProtocolKind;
+        let engine = Engine::new(2);
+        let suites: Vec<RunOptions> =
+            ProtocolKind::ALL.iter().map(|&p| quick(0.002).with_protocol(p)).collect();
+        engine.run_suites(&suites);
+        assert_eq!(engine.stats().suites_executed, 3, "each protocol is a distinct key");
+        assert_eq!(engine.cache().len(), 3);
+        // MOESI is the default: an explicit MOESI request hits the same key.
+        assert!(Arc::ptr_eq(&engine.run_suite(&quick(0.002)), &engine.run_suite(&suites[0])));
     }
 
     #[test]
@@ -416,5 +472,53 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(Engine::default_threads() >= 1);
+    }
+
+    #[test]
+    fn jetty_threads_override_takes_precedence() {
+        // A valid override wins over any host parallelism.
+        let d = resolve_default_threads(Some("6"), Some(64));
+        assert_eq!(d, ThreadsDecision { threads: 6, invalid_env: None, host_fallback: false });
+        // ...including when the host count is unknown (no fallback logged:
+        // the override answered the question).
+        let d = resolve_default_threads(Some(" 3 "), None);
+        assert_eq!(d, ThreadsDecision { threads: 3, invalid_env: None, host_fallback: false });
+    }
+
+    #[test]
+    fn invalid_override_falls_through_to_the_host() {
+        for bad in ["0", "-2", "four", ""] {
+            let d = resolve_default_threads(Some(bad), Some(8));
+            assert_eq!(d.threads, 8, "JETTY_THREADS={bad:?}");
+            assert_eq!(d.invalid_env.as_deref(), Some(bad));
+            assert!(!d.host_fallback);
+        }
+    }
+
+    #[test]
+    fn unknown_parallelism_falls_back_to_one_and_says_so() {
+        let d = resolve_default_threads(None, None);
+        assert_eq!(d, ThreadsDecision { threads: 1, invalid_env: None, host_fallback: true });
+        let d = resolve_default_threads(Some("nope"), None);
+        assert_eq!(d.threads, 1);
+        assert!(d.host_fallback);
+        assert!(d.invalid_env.is_some());
+    }
+
+    #[test]
+    fn no_override_uses_host_parallelism() {
+        let d = resolve_default_threads(None, Some(12));
+        assert_eq!(d, ThreadsDecision { threads: 12, invalid_env: None, host_fallback: false });
+    }
+
+    #[test]
+    fn env_override_reaches_default_threads_end_to_end() {
+        // Process-global env mutation: set, observe, restore. The only
+        // other env-sensitive test in this binary tolerates any positive
+        // count, so a transient override cannot break it.
+        std::env::set_var("JETTY_THREADS", "5");
+        let seen = Engine::default_threads();
+        std::env::remove_var("JETTY_THREADS");
+        assert_eq!(seen, 5);
     }
 }

@@ -18,7 +18,11 @@
 //! jetty-repro nsb            # non-subblocked summary
 //! jetty-repro calibrate      # measured-vs-paper deltas
 //! jetty-repro ablation       # IJ index-overlap + HJ allocation-policy studies
+//! jetty-repro protocols      # MOESI/MESI/MSI coverage + energy sweep
 //! ```
+//!
+//! (`protocols` is an extension beyond the paper's exhibits and is *not*
+//! part of `all`, keeping that output byte-comparable across versions.)
 //!
 //! Pass `--scale 0.1` for a 10x shorter run, `--cpus 8` for the 8-way
 //! configuration, `--csv DIR` to also dump CSV files, and `--threads N`
@@ -36,6 +40,7 @@
 pub mod ablation;
 pub mod engine;
 pub mod figures;
+pub mod protocols;
 pub mod report;
 pub mod runner;
 pub mod tables;

@@ -10,7 +10,7 @@
 use std::hash::{Hash, Hasher};
 
 use jetty_core::FilterSpec;
-use jetty_sim::{FilterReport, RunStats, System, SystemConfig};
+use jetty_sim::{FilterReport, ProtocolKind, RunStats, System, SystemConfig};
 use jetty_workloads::{AppProfile, TraceGen};
 
 use crate::engine::Engine;
@@ -21,7 +21,7 @@ use crate::engine::Engine;
 /// key: equality and hashing cover every field that changes simulation
 /// output — `cpus`, the exact bit pattern of `scale`, `check`, the full
 /// filter bank (order included, since report order follows bank order),
-/// and `non_subblocked`.
+/// `non_subblocked`, and the coherence `protocol`.
 #[derive(Clone, Debug)]
 pub struct RunOptions {
     /// Processors on the bus (4 for the base tables, 8 for §4.3.4).
@@ -35,6 +35,8 @@ pub struct RunOptions {
     pub specs: Vec<FilterSpec>,
     /// Use the non-subblocked L2 variant.
     pub non_subblocked: bool,
+    /// Coherence protocol to simulate (the paper's platform is MOESI).
+    pub protocol: ProtocolKind,
 }
 
 impl RunOptions {
@@ -46,6 +48,7 @@ impl RunOptions {
             check: false,
             specs: FilterSpec::paper_bank(),
             non_subblocked: false,
+            protocol: ProtocolKind::Moesi,
         }
     }
 
@@ -67,6 +70,12 @@ impl RunOptions {
         self
     }
 
+    /// Switches the coherence protocol.
+    pub fn with_protocol(mut self, protocol: ProtocolKind) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
     fn system_config(&self) -> SystemConfig {
         let mut config = if self.non_subblocked {
             SystemConfig::paper_4way_nsb()
@@ -74,6 +83,7 @@ impl RunOptions {
             SystemConfig::paper_4way()
         };
         config.cpus = self.cpus;
+        config.protocol = self.protocol;
         if !self.check {
             config = config.without_checks();
         }
@@ -97,6 +107,7 @@ impl PartialEq for RunOptions {
             && self.check == other.check
             && self.specs == other.specs
             && self.non_subblocked == other.non_subblocked
+            && self.protocol == other.protocol
     }
 }
 
@@ -109,6 +120,7 @@ impl Hash for RunOptions {
         self.check.hash(state);
         self.specs.hash(state);
         self.non_subblocked.hash(state);
+        self.protocol.hash(state);
     }
 }
 
@@ -164,9 +176,9 @@ pub fn run_app(profile: &AppProfile, options: &RunOptions) -> AppRun {
 /// Runs the full ten-application suite sequentially on the calling
 /// thread.
 ///
-/// This is the single-threaded, uncached entry into the
-/// [`Engine`](crate::engine::Engine); callers that want concurrency or
-/// suite reuse should hold an engine themselves (as `jetty-repro` does).
+/// This is the single-threaded, uncached entry into the [`Engine`];
+/// callers that want concurrency or suite reuse should hold an engine
+/// themselves (as `jetty-repro` does).
 pub fn run_suite(options: &RunOptions) -> Vec<AppRun> {
     Engine::new(1).run_suite_uncached(options)
 }
@@ -253,6 +265,27 @@ mod tests {
         let mut nsb = base.clone();
         nsb.non_subblocked = true;
         assert_ne!(base, nsb);
+        assert_ne!(base, base.clone().with_protocol(ProtocolKind::Mesi));
+        assert_ne!(
+            h(&base),
+            h(&base.clone().with_protocol(ProtocolKind::Msi)),
+            "protocol must reach the cache key hash"
+        );
+    }
+
+    #[test]
+    fn protocol_reaches_the_simulated_system() {
+        let options = quick_options().with_protocol(ProtocolKind::Msi);
+        let result = run_app(&apps::fft(), &options);
+        // MSI has no Exclusive state: every first store after a read miss
+        // pays an upgrade, so upgrades must strictly exceed the MOESI run.
+        let moesi = run_app(&apps::fft(), &quick_options());
+        assert!(
+            result.run.nodes.bus_upgrades > moesi.run.nodes.bus_upgrades,
+            "MSI {} vs MOESI {} upgrades",
+            result.run.nodes.bus_upgrades,
+            moesi.run.nodes.bus_upgrades
+        );
     }
 
     #[test]

@@ -47,6 +47,56 @@ fn help_documents_threads_flag() {
 }
 
 #[test]
+fn help_prints_usage_to_stdout_and_exits_zero() {
+    // Both spellings take the dedicated help path: usage on stdout,
+    // nothing on stderr, success — NOT the unknown-flag error path
+    // (stderr + nonzero).
+    for flag in ["--help", "-h"] {
+        let out = repro(&[flag]);
+        assert!(out.status.success(), "{flag} must exit 0");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("jetty-repro [COMMANDS...]"), "{flag} usage: {stdout}");
+        assert!(stdout.contains("commands:"), "{flag} must list the commands");
+        assert!(stdout.contains("protocols"), "{flag} must mention the protocols suite");
+        assert!(out.stderr.is_empty(), "{flag} must not write to stderr");
+    }
+    // The error path stays distinct: unknown flags report on stderr.
+    let out = repro(&["--halp"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+    assert!(out.stdout.is_empty());
+}
+
+#[test]
+fn help_wins_even_after_other_arguments() {
+    let out = repro(&["table1", "--scale", "0.5", "--help"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("commands:"));
+    assert!(!stdout.contains("Table 1"), "help must short-circuit the run");
+}
+
+#[test]
+fn protocols_suite_renders_all_three_protocols() {
+    let out = repro(&["protocols", "--scale", "0.002", "--threads", "2"]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Protocol sweep"), "missing table: {stdout}");
+    for col in ["MOESI cov", "MESI cov", "MSI cov"] {
+        assert!(stdout.contains(col), "missing column {col}: {stdout}");
+    }
+}
+
+#[test]
+fn all_does_not_include_the_protocols_extension() {
+    // `jetty-repro all` output is kept byte-comparable across versions;
+    // the protocols sweep must only render when requested by name.
+    let out = repro(&["all", "--scale", "0.002", "--threads", "2"]);
+    assert!(out.status.success());
+    assert!(!String::from_utf8_lossy(&out.stdout).contains("Protocol sweep"));
+}
+
+#[test]
 fn static_tables_run_with_explicit_threads() {
     let out = repro(&["table1", "table4", "--threads", "2"]);
     assert!(out.status.success());

@@ -2,6 +2,8 @@
 
 use jetty_core::AddrSpace;
 
+use crate::protocol::ProtocolKind;
+
 /// Geometry of a direct-mapped L1 data cache.
 ///
 /// The paper's configuration (§4.1): 64 KB, 32-byte blocks, direct-mapped,
@@ -148,6 +150,8 @@ pub struct SystemConfig {
     pub addr: AddrSpace,
     /// Verification level.
     pub check: CheckLevel,
+    /// Coherence protocol (the paper's platform is MOESI).
+    pub protocol: ProtocolKind,
 }
 
 impl SystemConfig {
@@ -174,6 +178,12 @@ impl SystemConfig {
     /// Disables runtime checking (for large experiment runs).
     pub fn without_checks(mut self) -> Self {
         self.check = CheckLevel::Off;
+        self
+    }
+
+    /// Switches the coherence protocol (default: the paper's MOESI).
+    pub fn with_protocol(mut self, protocol: ProtocolKind) -> Self {
+        self.protocol = protocol;
         self
     }
 
@@ -215,6 +225,7 @@ impl Default for SystemConfig {
             wb_entries: 8,
             addr: AddrSpace::default(),
             check: CheckLevel::Full,
+            protocol: ProtocolKind::Moesi,
         }
     }
 }
@@ -228,6 +239,7 @@ mod tests {
         let c = SystemConfig::paper_4way();
         c.validate();
         assert_eq!(c.cpus, 4);
+        assert_eq!(c.protocol, ProtocolKind::Moesi);
         assert_eq!(c.l1.blocks(), 2048);
         assert_eq!(c.l2.blocks(), 16384);
         assert_eq!(c.l2.subblock_bytes(), 32);
@@ -256,6 +268,15 @@ mod tests {
         let c = SystemConfig::paper_4way().without_checks();
         assert_eq!(c.check, CheckLevel::Off);
         assert!(!c.check.is_full());
+    }
+
+    #[test]
+    fn with_protocol_switches_the_axis() {
+        for kind in ProtocolKind::ALL {
+            let c = SystemConfig::paper_4way().with_protocol(kind);
+            c.validate();
+            assert_eq!(c.protocol, kind);
+        }
     }
 
     #[test]

@@ -4,15 +4,17 @@
 //! count-based model of the paper's evaluation platform (§4.1) —
 //! a 4-way (or 8-way) SMP where each node has a 64 KB direct-mapped L1,
 //! a 1 MB direct-mapped L2 with 64-byte blocks of two 32-byte subblocks,
-//! a small writeback buffer, and MOESI coherence at subblock grain over an
-//! atomic snoopy bus.
+//! a small writeback buffer, and subblock-grain coherence over an atomic
+//! snoopy bus. The coherence protocol is pluggable ([`protocol`]): the
+//! paper's MOESI is the default, with MESI and MSI opening the protocol
+//! axis as a sweepable scenario dimension.
 //!
 //! The paper used the Wisconsin Wind Tunnel II executing SPLASH-2 binaries;
 //! JETTY only observes the *bus reference stream* and the *local cache
 //! contents*, so a trace-driven simulator exercises the identical code
 //! path: snoop → writeback-buffer probe → filter probe → L2 tag probe →
-//! MOESI reaction. Synthetic traces calibrated to the paper's per-workload
-//! statistics come from the `jetty-workloads` crate.
+//! protocol reaction. Synthetic traces calibrated to the paper's
+//! per-workload statistics come from the `jetty-workloads` crate.
 //!
 //! ## Quick start
 //!
@@ -35,9 +37,10 @@
 //! ## Verification
 //!
 //! With [`CheckLevel::Full`] (the default) the system asserts, after every
-//! transaction: MOESI single-writer invariants, L1⊆L2 inclusion, version-
-//! exact data coherence (every load observes the newest store), and — at
-//! all check levels — that no filter ever filters a snoop to a cached unit.
+//! transaction: the protocol's single-writer and state-subset invariants,
+//! L1⊆L2 inclusion, version-exact data coherence (every load observes the
+//! newest store), and — at all check levels — that no filter ever filters
+//! a snoop to a cached unit.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -47,6 +50,7 @@ mod config;
 mod l1;
 mod l2;
 mod moesi;
+pub mod protocol;
 mod stats;
 mod system;
 mod trace;
@@ -57,6 +61,9 @@ pub use config::{CheckLevel, L1Config, L2Config, SystemConfig};
 pub use l1::{L1Cache, L1Lookup, L1Victim};
 pub use l2::{EvictedUnit, L2Cache};
 pub use moesi::Moesi;
+pub use protocol::{
+    CoherenceProtocol, MesiProtocol, MoesiProtocol, MsiProtocol, ProtocolKind, ReadReaction,
+};
 pub use stats::{NodeStats, RunStats, SystemStats};
 pub use system::{AccessOutcome, FilterReport, System};
 pub use trace::{MemRef, Op};

@@ -60,6 +60,10 @@ pub struct NodeStats {
     pub snoop_state_writes: u64,
     /// Snoop hits where this node supplied data (M/O owner or WB).
     pub snoop_supplies: u64,
+    /// Dirty supplies that also updated memory in the same transaction
+    /// (MESI/MSI `M → S` downgrades; always 0 under MOESI, whose `Owned`
+    /// state keeps the dirty data on-chip).
+    pub snoop_memory_writebacks: u64,
     /// Units invalidated by remote write transactions.
     pub snoop_invalidations: u64,
 
@@ -87,6 +91,13 @@ impl NodeStats {
         self.bus_reads + self.bus_read_exclusives + self.bus_upgrades
     }
 
+    /// All memory write traffic of the run: writeback-buffer drains plus
+    /// the snoop-time memory updates MESI/MSI pay on dirty supplies. This
+    /// is the protocol-dependent traffic the energy accounting charges.
+    pub fn memory_writebacks(&self) -> u64 {
+        self.wb_drains + self.snoop_memory_writebacks
+    }
+
     /// Merges another node's counters into this one (aggregation).
     pub fn merge(&mut self, other: &NodeStats) {
         let NodeStats {
@@ -111,6 +122,7 @@ impl NodeStats {
             snoop_would_miss,
             snoop_state_writes,
             snoop_supplies,
+            snoop_memory_writebacks,
             snoop_invalidations,
             bus_reads,
             bus_read_exclusives,
@@ -137,6 +149,7 @@ impl NodeStats {
         self.snoop_would_miss += snoop_would_miss;
         self.snoop_state_writes += snoop_state_writes;
         self.snoop_supplies += snoop_supplies;
+        self.snoop_memory_writebacks += snoop_memory_writebacks;
         self.snoop_invalidations += snoop_invalidations;
         self.bus_reads += bus_reads;
         self.bus_read_exclusives += bus_read_exclusives;
@@ -256,6 +269,12 @@ mod tests {
         assert_eq!(a.l1_accesses, 4);
         assert_eq!(a.snoops_seen, 6);
         assert_eq!(a.bus_upgrades, 5);
+    }
+
+    #[test]
+    fn memory_writebacks_combine_drains_and_snoop_updates() {
+        let stats = NodeStats { wb_drains: 3, snoop_memory_writebacks: 2, ..NodeStats::default() };
+        assert_eq!(stats.memory_writebacks(), 5);
     }
 
     #[test]

@@ -1,0 +1,29 @@
+//! One SMP node: the per-processor state bundle and its purely local
+//! helpers. Everything that needs cross-node or bus context lives in
+//! [`local`](super::local) and [`bus`](super::bus) instead.
+
+use jetty_core::{SnoopFilter, UnitAddr};
+
+use crate::l1::L1Cache;
+use crate::l2::L2Cache;
+use crate::stats::NodeStats;
+use crate::wb::{WbEntry, WritebackBuffer};
+
+/// One SMP node.
+pub(super) struct Node {
+    pub(super) l1: L1Cache,
+    pub(super) l2: L2Cache,
+    pub(super) wb: WritebackBuffer,
+    pub(super) filters: Vec<Box<dyn SnoopFilter>>,
+    pub(super) stats: NodeStats,
+}
+
+impl Node {
+    /// On a local L2 miss, checks the node's own writeback buffer for the
+    /// unit (evicted dirty, not yet at memory) and extracts it if present.
+    pub(super) fn l2_miss_wb_forward(&mut self, unit: UnitAddr) -> Option<WbEntry> {
+        let entry = self.wb.remove(unit)?;
+        self.stats.wb_local_hits += 1;
+        Some(entry)
+    }
+}

@@ -109,7 +109,7 @@ pub enum SegmentSpec {
         channels: usize,
         /// Bytes per channel.
         channel_bytes: u64,
-        /// Consumers per channel (1 = pairwise, the common case [28]).
+        /// Consumers per channel (1 = pairwise, the common case).
         consumers: usize,
         /// Consecutive references per 32-byte unit.
         refs_per_unit: u32,

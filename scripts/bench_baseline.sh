@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Regenerates BENCH_baseline.json: wall-clock timings of representative
 # jetty-repro invocations, so successive PRs have a perf trajectory to
-# compare against. Schema 2 records the host thread count and times the
-# full reproduction both sequentially (--threads 1) and on the parallel
-# engine (--threads <nproc>). Usage: scripts/bench_baseline.sh [reps]
+# compare against. Schema 3 records the host thread count, times the full
+# reproduction both sequentially (--threads 1) and on the parallel engine
+# (--threads <nproc>), and adds the MOESI/MESI/MSI protocol sweep (three
+# suites through the engine). Usage: scripts/bench_baseline.sh [reps]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -32,12 +33,14 @@ time_ms() {
 static_ms=$(time_ms table1 fig2 table4)
 smoke_ms=$(time_ms table2 table3 --scale 0.1 --threads 1)
 energy_ms=$(time_ms fig6 --scale 0.1 --threads 1)
+protocols_ms=$(time_ms protocols --scale 0.1 --threads 1)
+protocols_parallel_ms=$(time_ms protocols --scale 0.1 --threads "$THREADS")
 full_ms=$(time_ms all --scale 1.0 --threads 1)
 full_parallel_ms=$(time_ms all --scale 1.0 --threads "$THREADS")
 
 cat > BENCH_baseline.json <<EOF
 {
-  "schema": 2,
+  "schema": 3,
   "tool": "scripts/bench_baseline.sh",
   "reps": $REPS,
   "threads": $THREADS,
@@ -47,6 +50,8 @@ cat > BENCH_baseline.json <<EOF
     "repro_static_tables_ms": $static_ms,
     "repro_table2_table3_scale0.1_ms": $smoke_ms,
     "repro_fig6_scale0.1_ms": $energy_ms,
+    "repro_protocols_scale0.1_ms": $protocols_ms,
+    "repro_protocols_scale0.1_parallel_ms": $protocols_parallel_ms,
     "repro_all_full_scale_ms": $full_ms,
     "repro_all_full_scale_parallel_ms": $full_parallel_ms
   }

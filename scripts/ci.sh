@@ -16,7 +16,13 @@ cargo test -q
 echo "==> cargo build --examples --benches"
 cargo build --examples --benches
 
+echo "==> cargo doc --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+
 echo "==> parallel engine smoke: jetty-repro all --scale 0.02 --threads 2"
 target/release/jetty-repro all --scale 0.02 --threads 2 >/dev/null
+
+echo "==> protocol sweep smoke: jetty-repro protocols --scale 0.02 --threads 2"
+target/release/jetty-repro protocols --scale 0.02 --threads 2 >/dev/null
 
 echo "CI green."
