@@ -64,12 +64,15 @@ impl ExcludeConfig {
     }
 }
 
-#[derive(Clone, Copy, Debug, Default)]
-struct Entry {
-    tag: u64,
-    present: bool,
-    /// LRU stamp; larger is more recent; 0 marks a never-used way.
-    stamp: u64,
+/// Key word of one `(TAG, present-bit)` record: `tag << 1 | present`.
+/// Real keys are far below `u64::MAX` (tags are at most ~34 bits), so the
+/// all-ones word marks a never-used way — a probe scans *only* the keys of
+/// one set (a 4-way set is 32 contiguous bytes) and touches the LRU stamps
+/// on a tag match alone.
+const EMPTY_KEY: u64 = u64::MAX;
+
+fn make_key(tag: u64, present: bool) -> u64 {
+    tag << 1 | u64::from(present)
 }
 
 /// The Exclude-Jetty filter. See the module docs for semantics.
@@ -98,8 +101,21 @@ struct Entry {
 pub struct ExcludeJetty {
     config: ExcludeConfig,
     space: AddrSpace,
-    sets: Vec<Vec<Entry>>,
+    /// Entry keys (`tag << 1 | present`, [`EMPTY_KEY`] = unused way) in
+    /// one contiguous array; set `s` occupies
+    /// `keys[s * ways .. (s + 1) * ways]`, so a probe scans one run of
+    /// adjacent memory instead of chasing a per-set heap pointer.
+    keys: Vec<u64>,
+    /// LRU stamps, parallel to `keys` (larger = more recent; 0 = never
+    /// stamped). Touched only on tag hits and replacements.
+    stamps: Vec<u64>,
     clock: u64,
+    /// Block-scope `record_snoop_miss` calls since the last reset (each is
+    /// exactly one tag write, charged in `activity()`).
+    records: u64,
+    /// `on_allocate` calls since the last reset (each is exactly one tag
+    /// read, charged in `activity()`).
+    allocates: u64,
     activity: FilterActivity,
 }
 
@@ -119,8 +135,16 @@ impl ExcludeJetty {
 
     /// Creates an Exclude-Jetty for the given address space.
     pub fn new(config: ExcludeConfig, space: AddrSpace) -> Self {
-        let sets = vec![vec![Entry::default(); config.ways]; config.sets];
-        Self { config, space, sets, clock: 0, activity: FilterActivity::with_arrays(Self::ARRAYS) }
+        Self {
+            config,
+            space,
+            keys: vec![EMPTY_KEY; config.entries()],
+            stamps: vec![0; config.entries()],
+            clock: 0,
+            records: 0,
+            allocates: 0,
+            activity: FilterActivity::with_arrays(Self::ARRAYS),
+        }
     }
 
     /// The configuration this filter was built with.
@@ -159,21 +183,34 @@ impl ExcludeJetty {
         &mut self.activity.arrays[0]
     }
 
+    /// The contiguous slice of ways backing `set`.
+    fn set_range(&self, set: usize) -> std::ops::Range<usize> {
+        let base = set * self.config.ways;
+        base..base + self.config.ways
+    }
+
+    /// Flat index of the way holding `tag` in `set`, if any. Scans keys
+    /// only ([`EMPTY_KEY`] can never alias a real tag).
     fn find(&self, set: usize, tag: u64) -> Option<usize> {
-        self.sets[set].iter().position(|e| e.stamp != 0 && e.tag == tag)
+        let range = self.set_range(set);
+        self.keys[range.clone()].iter().position(|&k| k >> 1 == tag).map(|way| range.start + way)
     }
 }
 
 impl SnoopFilter for ExcludeJetty {
     fn probe(&mut self, addr: UnitAddr) -> Verdict {
+        // Every probe reads the tag array exactly once, so that read is
+        // derived from `probes` in `activity()` instead of paying a
+        // counter bump on the snoop hot path.
         self.activity.probes += 1;
-        self.tag_array().reads += 1;
         let (set, tag) = self.split(addr);
-        let stamp = self.tick();
-        if let Some(way) = self.find(set, tag) {
-            let entry = &mut self.sets[set][way];
-            entry.stamp = stamp;
-            if entry.present {
+        if let Some(slot) = self.find(set, tag) {
+            // The clock only advances when a stamp is actually assigned:
+            // stamps stay strictly monotonic in assignment order, so every
+            // LRU comparison is unchanged, and probe misses skip the
+            // counter bump.
+            self.stamps[slot] = self.tick();
+            if self.keys[slot] & 1 != 0 {
                 self.activity.filtered += 1;
                 return Verdict::NotCached;
             }
@@ -188,28 +225,29 @@ impl SnoopFilter for ExcludeJetty {
         if scope != MissScope::Block {
             return;
         }
+        // Exactly one tag write per recorded miss, deferred to `activity()`.
+        self.records += 1;
         let (set, tag) = self.split(addr);
         let stamp = self.tick();
-        if let Some(way) = self.find(set, tag) {
-            let entry = &mut self.sets[set][way];
-            entry.present = true;
-            entry.stamp = stamp;
+        if let Some(slot) = self.find(set, tag) {
+            self.keys[slot] |= 1;
+            self.stamps[slot] = stamp;
         } else {
-            let victim = (0..self.config.ways)
-                .min_by_key(|&w| self.sets[set][w].stamp)
-                .expect("ways is nonzero");
-            self.sets[set][victim] = Entry { tag, present: true, stamp };
+            let range = self.set_range(set);
+            let victim = range.clone().min_by_key(|&s| self.stamps[s]).expect("ways is nonzero");
+            self.keys[victim] = make_key(tag, true);
+            self.stamps[victim] = stamp;
         }
-        self.tag_array().writes += 1;
     }
 
     fn on_allocate(&mut self, addr: UnitAddr) {
         // Any unit arriving in the block makes a block-grain record stale.
+        // Exactly one tag read per call, deferred to `activity()`.
+        self.allocates += 1;
         let (set, tag) = self.split(addr);
-        self.tag_array().reads += 1;
-        if let Some(way) = self.find(set, tag) {
-            if self.sets[set][way].present {
-                self.sets[set][way].present = false;
+        if let Some(slot) = self.find(set, tag) {
+            if self.keys[slot] & 1 != 0 {
+                self.keys[slot] &= !1;
                 self.tag_array().writes += 1;
             }
         }
@@ -227,10 +265,17 @@ impl SnoopFilter for ExcludeJetty {
     }
 
     fn activity(&self) -> FilterActivity {
-        self.activity.clone()
+        // Materialise the uniform charges deferred on the hot paths: one
+        // tag read per probe/allocate, one tag write per recorded miss.
+        let mut activity = self.activity.clone();
+        activity.arrays[0].reads += activity.probes + self.allocates;
+        activity.arrays[0].writes += self.records;
+        activity
     }
 
     fn reset_activity(&mut self) {
+        self.records = 0;
+        self.allocates = 0;
         self.activity = FilterActivity::with_arrays(Self::ARRAYS);
     }
 

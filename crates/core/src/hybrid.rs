@@ -59,20 +59,15 @@ enum ExcludeEngine {
     Vector(VectorExcludeJetty),
 }
 
-impl ExcludeEngine {
-    fn as_filter(&mut self) -> &mut dyn SnoopFilter {
-        match self {
-            ExcludeEngine::Scalar(f) => f,
-            ExcludeEngine::Vector(f) => f,
+/// Statically dispatches one method call to the live exclude variant (the
+/// per-snoop paths must not pay a vtable hop inside the hybrid).
+macro_rules! exclude_dispatch {
+    ($self:expr, $f:ident ( $($arg:expr),* )) => {
+        match $self {
+            ExcludeEngine::Scalar(inner) => inner.$f($($arg),*),
+            ExcludeEngine::Vector(inner) => inner.$f($($arg),*),
         }
-    }
-
-    fn as_filter_ref(&self) -> &dyn SnoopFilter {
-        match self {
-            ExcludeEngine::Scalar(f) => f,
-            ExcludeEngine::Vector(f) => f,
-        }
-    }
+    };
 }
 
 /// When the hybrid's exclude component learns about snoop misses.
@@ -199,7 +194,7 @@ impl SnoopFilter for HybridJetty {
         // Both components are probed in parallel (latency), so both always
         // pay energy, even when one alone would have filtered.
         let ij = self.include.probe(addr);
-        let ej = self.exclude.as_filter().probe(addr);
+        let ej = exclude_dispatch!(&mut self.exclude, probe(addr));
         if ij.is_filtered() || ej.is_filtered() {
             // Eager ablation: a filtered snoop is a guaranteed L2 miss, so
             // the EJ may record it immediately even though the substrate
@@ -212,7 +207,7 @@ impl SnoopFilter for HybridJetty {
                 let block_absent = (0..block_units)
                     .all(|k| self.include.guarantees_absent(UnitAddr::new(base | k)));
                 let scope = if block_absent { MissScope::Block } else { MissScope::Unit };
-                self.exclude.as_filter().record_snoop_miss(addr, scope);
+                exclude_dispatch!(&mut self.exclude, record_snoop_miss(addr, scope));
             }
             self.filtered += 1;
             Verdict::NotCached
@@ -225,28 +220,28 @@ impl SnoopFilter for HybridJetty {
         // Only reached when neither component filtered, i.e. the IJ failed:
         // allocate in the EJ (the IJ ignores snoop misses by construction).
         self.include.record_snoop_miss(addr, scope);
-        self.exclude.as_filter().record_snoop_miss(addr, scope);
+        exclude_dispatch!(&mut self.exclude, record_snoop_miss(addr, scope));
     }
 
     fn on_allocate(&mut self, addr: UnitAddr) {
         self.include.on_allocate(addr);
-        self.exclude.as_filter().on_allocate(addr);
+        exclude_dispatch!(&mut self.exclude, on_allocate(addr));
     }
 
     fn on_deallocate(&mut self, addr: UnitAddr) {
         self.include.on_deallocate(addr);
-        self.exclude.as_filter().on_deallocate(addr);
+        exclude_dispatch!(&mut self.exclude, on_deallocate(addr));
     }
 
     fn arrays(&self) -> Vec<ArraySpec> {
         let mut specs = self.include.arrays();
-        specs.extend(self.exclude.as_filter_ref().arrays());
+        specs.extend(exclude_dispatch!(&self.exclude, arrays()));
         specs
     }
 
     fn activity(&self) -> FilterActivity {
         let ij = self.include.activity();
-        let ej = self.exclude.as_filter_ref().activity();
+        let ej = exclude_dispatch!(&self.exclude, activity());
         let mut arrays = ij.arrays;
         arrays.extend(ej.arrays);
         FilterActivity { arrays, probes: self.probes, filtered: self.filtered }
@@ -254,7 +249,7 @@ impl SnoopFilter for HybridJetty {
 
     fn reset_activity(&mut self) {
         self.include.reset_activity();
-        self.exclude.as_filter().reset_activity();
+        exclude_dispatch!(&mut self.exclude, reset_activity());
         self.probes = 0;
         self.filtered = 0;
     }

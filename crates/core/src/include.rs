@@ -134,8 +134,28 @@ impl IncludeConfig {
 pub struct IncludeJetty {
     config: IncludeConfig,
     space: AddrSpace,
-    /// Exact per-entry populations; `p-bit == (count > 0)`.
-    counts: Vec<Vec<u32>>,
+    /// Exact per-entry populations; `p-bit == (count > 0)`. One contiguous
+    /// array for all sub-arrays: sub-array `i` occupies
+    /// `counts[i << index_bits .. (i + 1) << index_bits]`. `u16` is
+    /// sufficient: a counter is bounded by the L2 population (32768 units
+    /// for the paper's 1 MB L2), and halving the counter footprint keeps
+    /// more of the allocate/deallocate working set cache-resident.
+    counts: Vec<u16>,
+    /// Packed presence bits mirroring `counts` (bit set ⇔ count > 0),
+    /// 64 entries per word, same sub-array-major order. Snoops probe only
+    /// this bitmap — it is the software twin of the paper's separate p-bit
+    /// arrays (Figure 3c): the whole bank's p-bits stay cache-resident
+    /// while the big counter arrays are touched only by (much rarer)
+    /// allocate/deallocate traffic.
+    pbits: Vec<u64>,
+    /// `on_allocate` calls since the last reset. Every allocate performs
+    /// exactly one counter read-modify-write per sub-array, so that
+    /// uniform activity is derived in `activity()` instead of bumped per
+    /// event (same deferral as the per-probe p-bit reads).
+    allocates: u64,
+    /// `on_deallocate` calls since the last reset (same uniform-charge
+    /// deferral as `allocates`).
+    deallocates: u64,
     activity: FilterActivity,
 }
 
@@ -154,9 +174,19 @@ impl IncludeJetty {
     ///
     /// The filter starts empty (all p-bits clear), matching an empty cache.
     pub fn new(config: IncludeConfig, space: AddrSpace) -> Self {
-        let counts = vec![vec![0u32; config.entries_per_array()]; config.sub_arrays as usize];
+        let entries = config.sub_arrays as usize * config.entries_per_array();
+        let counts = vec![0u16; entries];
+        let pbits = vec![0u64; entries.div_ceil(64)];
         let arrays = Self::array_count(&config);
-        Self { config, space, counts, activity: FilterActivity::with_arrays(arrays) }
+        Self {
+            config,
+            space,
+            counts,
+            pbits,
+            allocates: 0,
+            deallocates: 0,
+            activity: FilterActivity::with_arrays(arrays),
+        }
     }
 
     fn array_count(config: &IncludeConfig) -> usize {
@@ -183,7 +213,26 @@ impl IncludeJetty {
     /// Current population count of entry `idx` in sub-array `i` (test/debug
     /// aid; real hardware stores `count - 1` plus the p-bit).
     pub fn count(&self, i: u32, idx: usize) -> u32 {
-        self.counts[i as usize][idx]
+        u32::from(self.counts[self.flat_slot(i, idx)])
+    }
+
+    /// Flat index of entry `idx` in sub-array `i`.
+    fn flat_slot(&self, i: u32, idx: usize) -> usize {
+        ((i as usize) << self.config.index_bits) | idx
+    }
+
+    /// Reads the packed presence bit for a flat slot.
+    fn pbit(&self, slot: usize) -> bool {
+        self.pbits[slot >> 6] & (1u64 << (slot & 63)) != 0
+    }
+
+    /// Writes the packed presence bit for a flat slot.
+    fn set_pbit(&mut self, slot: usize, set: bool) {
+        if set {
+            self.pbits[slot >> 6] |= 1u64 << (slot & 63);
+        } else {
+            self.pbits[slot >> 6] &= !(1u64 << (slot & 63));
+        }
     }
 
     fn pbit_slot(i: u32) -> usize {
@@ -201,7 +250,7 @@ impl IncludeJetty {
         for i in 0..self.config.sub_arrays {
             self.activity.arrays[Self::pbit_slot(i)].reads += 1;
             let idx = self.index(i, addr);
-            if self.counts[i as usize][idx] == 0 {
+            if !self.pbit(self.flat_slot(i, idx)) {
                 return true;
             }
         }
@@ -213,20 +262,20 @@ impl SnoopFilter for IncludeJetty {
     fn probe(&mut self, addr: UnitAddr) -> Verdict {
         self.activity.probes += 1;
         // A snoop reads one row of each p-bit array, in parallel.
-        let mut all_set = true;
+        // A snoop reads one row of each p-bit array, in parallel; that
+        // uniform read (one per array per probe) is derived from `probes`
+        // in `activity()` rather than bumped per sub-array here — which
+        // also lets the software loop exit on the first clear p-bit (the
+        // hardware reads all N rows in parallel either way, and the
+        // energy charge stays N reads regardless).
         for i in 0..self.config.sub_arrays {
-            self.activity.arrays[Self::pbit_slot(i)].reads += 1;
             let idx = self.index(i, addr);
-            if self.counts[i as usize][idx] == 0 {
-                all_set = false;
+            if !self.pbit(self.flat_slot(i, idx)) {
+                self.activity.filtered += 1;
+                return Verdict::NotCached;
             }
         }
-        if all_set {
-            Verdict::MaybeCached
-        } else {
-            self.activity.filtered += 1;
-            Verdict::NotCached
-        }
+        Verdict::MaybeCached
     }
 
     fn record_snoop_miss(&mut self, _addr: UnitAddr, _scope: MissScope) {
@@ -235,34 +284,47 @@ impl SnoopFilter for IncludeJetty {
     }
 
     fn on_allocate(&mut self, addr: UnitAddr) {
+        // The counter read-modify-write per sub-array is uniform (exactly
+        // one per allocate) and is charged via `allocates` in `activity()`;
+        // only the data-dependent p-bit 0 -> 1 writes are counted here.
+        self.allocates += 1;
         for i in 0..self.config.sub_arrays {
             let idx = self.index(i, addr);
-            let count = &mut self.counts[i as usize][idx];
-            // Counter read-modify-write.
-            self.activity.arrays[Self::cnt_slot(i)].reads += 1;
-            self.activity.arrays[Self::cnt_slot(i)].writes += 1;
-            if *count == 0 {
+            let slot = self.flat_slot(i, idx);
+            let count = &mut self.counts[slot];
+            assert!(
+                *count < u16::MAX,
+                "IJ counter saturated in sub-array {i} entry {idx}: cache population \
+                 exceeds the u16 counter range for this configuration"
+            );
+            let was_zero = *count == 0;
+            *count += 1;
+            if was_zero {
                 // The p-bit transitions 0 -> 1.
                 self.activity.arrays[Self::pbit_slot(i)].writes += 1;
+                self.set_pbit(slot, true);
             }
-            *count += 1;
         }
     }
 
     fn on_deallocate(&mut self, addr: UnitAddr) {
+        // Uniform counter RMWs deferred via `deallocates`, as in
+        // `on_allocate`.
+        self.deallocates += 1;
         for i in 0..self.config.sub_arrays {
             let idx = self.index(i, addr);
-            let count = &mut self.counts[i as usize][idx];
+            let slot = self.flat_slot(i, idx);
+            let count = &mut self.counts[slot];
             assert!(
                 *count > 0,
                 "IJ counter underflow in sub-array {i} entry {idx}: \
                  deallocate without matching allocate (protocol bug)"
             );
-            self.activity.arrays[Self::cnt_slot(i)].reads += 1;
-            self.activity.arrays[Self::cnt_slot(i)].writes += 1;
             *count -= 1;
-            if *count == 0 {
+            let now_zero = *count == 0;
+            if now_zero {
                 self.activity.arrays[Self::pbit_slot(i)].writes += 1;
+                self.set_pbit(slot, false);
             }
         }
     }
@@ -285,10 +347,22 @@ impl SnoopFilter for IncludeJetty {
     }
 
     fn activity(&self) -> FilterActivity {
-        self.activity.clone()
+        // Materialise the uniform charges deferred on the hot paths: one
+        // p-bit read per array per probe, one counter read-modify-write per
+        // array per allocate/deallocate.
+        let mut activity = self.activity.clone();
+        let cnt_rmw = self.allocates + self.deallocates;
+        for i in 0..self.config.sub_arrays {
+            activity.arrays[Self::pbit_slot(i)].reads += activity.probes;
+            activity.arrays[Self::cnt_slot(i)].reads += cnt_rmw;
+            activity.arrays[Self::cnt_slot(i)].writes += cnt_rmw;
+        }
+        activity
     }
 
     fn reset_activity(&mut self) {
+        self.allocates = 0;
+        self.deallocates = 0;
         self.activity = FilterActivity::with_arrays(Self::array_count(&self.config));
     }
 

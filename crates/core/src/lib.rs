@@ -70,5 +70,5 @@ pub use filter::{
 pub use hybrid::{EjAllocation, ExcludePart, HybridConfig, HybridJetty};
 pub use include::{IncludeConfig, IncludeJetty};
 pub use null::NullFilter;
-pub use spec::FilterSpec;
+pub use spec::{AnyFilter, FilterSpec};
 pub use vector_exclude::{VectorExcludeConfig, VectorExcludeJetty};

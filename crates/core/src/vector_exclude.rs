@@ -72,13 +72,10 @@ impl VectorExcludeConfig {
     }
 }
 
-#[derive(Clone, Debug, Default)]
-struct Entry {
-    tag: u64,
-    /// Present-vector; bit `i` set = block `chunk*V + i` known absent.
-    vector: u64,
-    stamp: u64,
-}
+/// Tag word marking a never-used way. Real chunk tags are at most ~34
+/// bits, so the all-ones word cannot alias one — probes scan only the tag
+/// array of a set and touch vectors/stamps on a match alone.
+const EMPTY_TAG: u64 = u64::MAX;
 
 /// The Vector-Exclude-Jetty filter. See the module docs.
 ///
@@ -104,8 +101,23 @@ struct Entry {
 pub struct VectorExcludeJetty {
     config: VectorExcludeConfig,
     space: AddrSpace,
-    sets: Vec<Vec<Entry>>,
+    /// Entry tags ([`EMPTY_TAG`] = unused way) in one contiguous array;
+    /// set `s` occupies `tags[s * ways .. (s + 1) * ways]` (same flat
+    /// layout as [`ExcludeJetty`](crate::ExcludeJetty)).
+    tags: Vec<u64>,
+    /// Present-vectors, parallel to `tags`; bit `i` set = block
+    /// `chunk*V + i` known absent.
+    vectors: Vec<u64>,
+    /// LRU stamps, parallel to `tags` (larger = more recent; 0 = never
+    /// stamped).
+    stamps: Vec<u64>,
     clock: u64,
+    /// Block-scope `record_snoop_miss` calls since the last reset (each is
+    /// exactly one tag write, charged in `activity()`).
+    records: u64,
+    /// `on_allocate` calls since the last reset (each is exactly one tag
+    /// read, charged in `activity()`).
+    allocates: u64,
     activity: FilterActivity,
 }
 
@@ -124,8 +136,17 @@ impl VectorExcludeJetty {
 
     /// Creates a Vector-Exclude-Jetty for the given address space.
     pub fn new(config: VectorExcludeConfig, space: AddrSpace) -> Self {
-        let sets = vec![vec![Entry::default(); config.ways]; config.sets];
-        Self { config, space, sets, clock: 0, activity: FilterActivity::with_arrays(Self::ARRAYS) }
+        Self {
+            config,
+            space,
+            tags: vec![EMPTY_TAG; config.entries()],
+            vectors: vec![0; config.entries()],
+            stamps: vec![0; config.entries()],
+            clock: 0,
+            records: 0,
+            allocates: 0,
+            activity: FilterActivity::with_arrays(Self::ARRAYS),
+        }
     }
 
     /// The configuration this filter was built with.
@@ -165,21 +186,31 @@ impl VectorExcludeJetty {
         &mut self.activity.arrays[0]
     }
 
+    /// The contiguous slice of ways backing `set`.
+    fn set_range(&self, set: usize) -> std::ops::Range<usize> {
+        let base = set * self.config.ways;
+        base..base + self.config.ways
+    }
+
+    /// Flat index of the way holding `tag` in `set`, if any. Scans tags
+    /// only ([`EMPTY_TAG`] can never alias a real chunk tag).
     fn find(&self, set: usize, tag: u64) -> Option<usize> {
-        self.sets[set].iter().position(|e| e.stamp != 0 && e.tag == tag)
+        let range = self.set_range(set);
+        self.tags[range.clone()].iter().position(|&t| t == tag).map(|way| range.start + way)
     }
 }
 
 impl SnoopFilter for VectorExcludeJetty {
     fn probe(&mut self, addr: UnitAddr) -> Verdict {
+        // As in `ExcludeJetty::probe`: the one tag read per probe is
+        // derived from `probes` in `activity()`, off the hot path.
         self.activity.probes += 1;
-        self.tag_array().reads += 1;
         let (set, tag, lane) = self.split(addr);
-        let stamp = self.tick();
-        if let Some(way) = self.find(set, tag) {
-            let entry = &mut self.sets[set][way];
-            entry.stamp = stamp;
-            if entry.vector & (1u64 << lane) != 0 {
+        if let Some(slot) = self.find(set, tag) {
+            // Tick only when a stamp is assigned (see `ExcludeJetty::probe`
+            // — assignment order, and therefore LRU, is unchanged).
+            self.stamps[slot] = self.tick();
+            if self.vectors[slot] & (1u64 << lane) != 0 {
                 self.activity.filtered += 1;
                 return Verdict::NotCached;
             }
@@ -191,28 +222,29 @@ impl SnoopFilter for VectorExcludeJetty {
         if scope != MissScope::Block {
             return;
         }
+        // Exactly one tag write per recorded miss, deferred to `activity()`.
+        self.records += 1;
         let (set, tag, lane) = self.split(addr);
         let stamp = self.tick();
-        if let Some(way) = self.find(set, tag) {
-            let entry = &mut self.sets[set][way];
-            entry.vector |= 1u64 << lane;
-            entry.stamp = stamp;
+        if let Some(slot) = self.find(set, tag) {
+            self.vectors[slot] |= 1u64 << lane;
+            self.stamps[slot] = stamp;
         } else {
-            let victim = (0..self.config.ways)
-                .min_by_key(|&w| self.sets[set][w].stamp)
-                .expect("ways is nonzero");
-            self.sets[set][victim] = Entry { tag, vector: 1u64 << lane, stamp };
+            let range = self.set_range(set);
+            let victim = range.clone().min_by_key(|&s| self.stamps[s]).expect("ways is nonzero");
+            self.tags[victim] = tag;
+            self.vectors[victim] = 1u64 << lane;
+            self.stamps[victim] = stamp;
         }
-        self.tag_array().writes += 1;
     }
 
     fn on_allocate(&mut self, addr: UnitAddr) {
+        // Exactly one tag read per call, deferred to `activity()`.
+        self.allocates += 1;
         let (set, tag, lane) = self.split(addr);
-        self.tag_array().reads += 1;
-        if let Some(way) = self.find(set, tag) {
-            let entry = &mut self.sets[set][way];
-            if entry.vector & (1u64 << lane) != 0 {
-                entry.vector &= !(1u64 << lane);
+        if let Some(slot) = self.find(set, tag) {
+            if self.vectors[slot] & (1u64 << lane) != 0 {
+                self.vectors[slot] &= !(1u64 << lane);
                 self.tag_array().writes += 1;
             }
         }
@@ -228,10 +260,17 @@ impl SnoopFilter for VectorExcludeJetty {
     }
 
     fn activity(&self) -> FilterActivity {
-        self.activity.clone()
+        // Materialise the uniform charges deferred on the hot paths: one
+        // tag read per probe/allocate, one tag write per recorded miss.
+        let mut activity = self.activity.clone();
+        activity.arrays[0].reads += activity.probes + self.allocates;
+        activity.arrays[0].writes += self.records;
+        activity
     }
 
     fn reset_activity(&mut self) {
+        self.records = 0;
+        self.allocates = 0;
         self.activity = FilterActivity::with_arrays(Self::ARRAYS);
     }
 

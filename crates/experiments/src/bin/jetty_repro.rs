@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! jetty-repro [COMMANDS...] [--scale X] [--cpus N] [--threads N] [--csv DIR] [--check]
+//!             [--timings]
 //! ```
 //!
 //! One subcommand per paper exhibit; [`COMMANDS`] is the authoritative
@@ -54,11 +55,12 @@ const COMMANDS: &[&str] = &[
 fn usage() -> String {
     format!(
         "jetty-repro [COMMANDS...] [--scale X] [--cpus N] [--threads N] \
-         [--csv DIR] [--check]\n\
+         [--csv DIR] [--check] [--timings]\n\
          commands: {}\n\
          `all` regenerates every paper exhibit; `protocols` (the \
          MOESI/MESI/MSI sweep) is opt-in and not part of `all`\n\
-         --threads defaults to available parallelism (env override: JETTY_THREADS)",
+         --threads defaults to available parallelism (env override: JETTY_THREADS)\n\
+         --timings reports per-suite wall-clock on stderr (stdout untouched)",
         COMMANDS.join(" ")
     )
 }
@@ -73,6 +75,9 @@ struct Cli {
     threads: Option<usize>,
     csv_dir: Option<PathBuf>,
     check: bool,
+    /// Report per-suite wall-clock attribution on stderr (stdout stays
+    /// byte-identical, so the golden-output guarantee is unaffected).
+    timings: bool,
 }
 
 /// Outcome of argument parsing: a run to perform, or an informational
@@ -90,6 +95,7 @@ fn parse_args() -> Result<Parsed, String> {
         threads: None,
         csv_dir: None,
         check: false,
+        timings: false,
     };
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -125,6 +131,7 @@ fn parse_args() -> Result<Parsed, String> {
                 cli.csv_dir = Some(PathBuf::from(v));
             }
             "--check" => cli.check = true,
+            "--timings" => cli.timings = true,
             "--help" | "-h" => return Ok(Parsed::Help),
             cmd if !cmd.starts_with('-') => {
                 if !COMMANDS.contains(&cmd) {
@@ -220,6 +227,23 @@ fn main() -> ExitCode {
     } else {
         Engine::new(cli.threads.unwrap_or_else(Engine::default_threads))
     };
+    // Per-suite wall-clock attribution (stderr only): lets perf work blame
+    // time without external profilers. Printed after every batch the
+    // engine executes, so late, non-prefetched suites still report.
+    let report_timings = |engine: &Engine| {
+        if !cli.timings {
+            return;
+        }
+        for t in engine.take_timings() {
+            eprintln!(
+                "[timing] suite {}: {:.3}s across {} jobs",
+                t.options.describe(),
+                t.elapsed.as_secs_f64(),
+                t.jobs
+            );
+        }
+    };
+
     if !prefetch.is_empty() {
         let started = Instant::now();
         let suites = engine.run_suites(&prefetch);
@@ -239,6 +263,7 @@ fn main() -> ExitCode {
             engine.threads(),
             started.elapsed().as_secs_f64()
         );
+        report_timings(&engine);
     }
 
     let suite: Arc<Vec<AppRun>> =
@@ -304,6 +329,9 @@ fn main() -> ExitCode {
     if wants_protocols {
         emit(&cli, "protocols", &protocols::protocols_table(&engine, cli.scale, cli.check));
     }
+    // Suites executed outside the prefetch batch (normally none — the
+    // prefetch covers every command — but kept exact regardless).
+    report_timings(&engine);
 
     ExitCode::SUCCESS
 }

@@ -39,6 +39,7 @@ use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
+use std::time::{Duration, Instant};
 
 use jetty_workloads::apps;
 
@@ -111,6 +112,20 @@ struct Job {
     app: usize,
 }
 
+/// Wall-clock attribution for one *executed* (cache-missing) suite:
+/// the summed wall-clock of its ten application jobs. Jobs of one suite
+/// may run on different workers, so this is cpu-time-like — with one
+/// worker it equals the suite's wall-clock exactly.
+#[derive(Clone, Debug)]
+pub struct SuiteTiming {
+    /// The options the suite ran under.
+    pub options: RunOptions,
+    /// Summed per-job wall-clock.
+    pub elapsed: Duration,
+    /// Jobs executed (one per application).
+    pub jobs: usize,
+}
+
 /// The worker-pool executor. Built once per process (or per benchmark
 /// iteration) with a fixed thread count; hand it [`RunOptions`] batches and
 /// it returns finished suites in request order.
@@ -138,6 +153,9 @@ pub struct Engine {
     suites_executed: AtomicU64,
     cache_hits: AtomicU64,
     jobs_executed: AtomicU64,
+    /// Per-suite timings accumulated since the last [`Engine::take_timings`]
+    /// (executed suites only; cache hits cost nothing and record nothing).
+    timings: Mutex<Vec<SuiteTiming>>,
 }
 
 impl Engine {
@@ -154,6 +172,7 @@ impl Engine {
             suites_executed: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             jobs_executed: AtomicU64::new(0),
+            timings: Mutex::new(Vec::new()),
         }
     }
 
@@ -196,6 +215,13 @@ impl Engine {
     /// [`Engine::run_suite`]).
     pub fn cache(&self) -> &SuiteCache {
         &self.cache
+    }
+
+    /// Drains the per-suite timings accumulated since the last call (the
+    /// `jetty-repro --timings` surface). Executed suites only: a request
+    /// served from the cache records no timing.
+    pub fn take_timings(&self) -> Vec<SuiteTiming> {
+        std::mem::take(&mut *self.timings.lock().expect("timing log poisoned"))
     }
 
     /// Counters so far.
@@ -259,7 +285,7 @@ impl Engine {
     }
 
     /// Executes the job graph for `suites`, returning each suite's runs in
-    /// application order.
+    /// application order and logging one [`SuiteTiming`] per suite.
     fn execute(&self, suites: &[RunOptions]) -> Vec<Vec<AppRun>> {
         if suites.is_empty() {
             return Vec::new();
@@ -269,41 +295,60 @@ impl Engine {
             .flat_map(|suite| (0..profiles.len()).map(move |app| Job { suite, app }))
             .collect();
 
-        let results: Vec<AppRun> = if self.threads == 1 || jobs.len() == 1 {
+        let results: Vec<(AppRun, Duration)> = if self.threads == 1 || jobs.len() == 1 {
             // The sequential path: same loop the pre-engine runner had,
             // on the caller's thread.
-            jobs.iter().map(|j| run_app(&profiles[j.app], &suites[j.suite])).collect()
+            jobs.iter()
+                .map(|j| {
+                    let started = Instant::now();
+                    let run = run_app(&profiles[j.app], &suites[j.suite]);
+                    (run, started.elapsed())
+                })
+                .collect()
         } else {
             self.execute_parallel(suites, &profiles, &jobs)
         };
         self.jobs_executed.fetch_add(jobs.len() as u64, Ordering::Relaxed);
 
         let mut out: Vec<Vec<AppRun>> = suites.iter().map(|_| Vec::new()).collect();
-        for (job, run) in jobs.iter().zip(results) {
+        let mut elapsed: Vec<Duration> = vec![Duration::ZERO; suites.len()];
+        for (job, (run, took)) in jobs.iter().zip(results) {
             out[job.suite].push(run);
+            elapsed[job.suite] += took;
+        }
+        let mut log = self.timings.lock().expect("timing log poisoned");
+        for (options, took) in suites.iter().zip(&elapsed) {
+            log.push(SuiteTiming {
+                options: options.clone(),
+                elapsed: *took,
+                jobs: profiles.len(),
+            });
         }
         out
     }
 
     /// Drains `jobs` with a pool of scoped threads. Workers claim jobs
-    /// through a shared atomic cursor and deposit results into the slot
-    /// matching the job index, so assembly order is independent of
-    /// completion order.
+    /// through a shared atomic cursor and deposit results (with per-job
+    /// wall-clock) into the slot matching the job index, so assembly order
+    /// is independent of completion order.
     fn execute_parallel(
         &self,
         suites: &[RunOptions],
         profiles: &[jetty_workloads::AppProfile],
         jobs: &[Job],
-    ) -> Vec<AppRun> {
+    ) -> Vec<(AppRun, Duration)> {
         let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<AppRun>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Mutex<Option<(AppRun, Duration)>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
         thread::scope(|scope| {
             for _ in 0..self.threads.min(jobs.len()) {
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(job) = jobs.get(i) else { break };
+                    let started = Instant::now();
                     let run = run_app(&profiles[job.app], &suites[job.suite]);
-                    *slots[i].lock().expect("result slot poisoned") = Some(run);
+                    *slots[i].lock().expect("result slot poisoned") =
+                        Some((run, started.elapsed()));
                 });
             }
         });

@@ -76,6 +76,20 @@ impl RunOptions {
         self
     }
 
+    /// Compact one-line description for logs and `--timings` lines, e.g.
+    /// `cpus=4 scale=1 nsb=false check=false proto=MOESI bank=22`.
+    pub fn describe(&self) -> String {
+        format!(
+            "cpus={} scale={} nsb={} check={} proto={} bank={}",
+            self.cpus,
+            self.scale,
+            self.non_subblocked,
+            self.check,
+            self.protocol,
+            self.specs.len()
+        )
+    }
+
     fn system_config(&self) -> SystemConfig {
         let mut config = if self.non_subblocked {
             SystemConfig::paper_4way_nsb()
@@ -158,11 +172,23 @@ impl AppRun {
 }
 
 /// Runs one application.
+///
+/// One `TraceGen` serves both metadata and simulation: `footprint()` and
+/// `len()` are whole-trace totals (fixed at construction, *not* remaining
+/// counts), so reading them here costs nothing and the generator is then
+/// consumed exactly once by `system.run` — there is no second generation
+/// pass. The debug assertion pins the metadata-before-iteration invariant
+/// so a future reordering cannot silently double-generate or misreport.
 pub fn run_app(profile: &AppProfile, options: &RunOptions) -> AppRun {
     let mut system = System::new(options.system_config(), &options.specs);
     let generator = TraceGen::new(profile, options.cpus, options.scale);
     let footprint = generator.footprint();
     let refs = generator.len();
+    debug_assert_eq!(
+        generator.size_hint().0 as u64,
+        refs,
+        "TraceGen metadata must be taken before iteration consumes the generator"
+    );
     system.run(generator);
     AppRun {
         profile: profile.clone(),

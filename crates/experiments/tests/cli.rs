@@ -97,6 +97,29 @@ fn all_does_not_include_the_protocols_extension() {
 }
 
 #[test]
+fn timings_flag_reports_on_stderr_and_leaves_stdout_untouched() {
+    let without = repro(&["table2", "--scale", "0.002", "--threads", "1"]);
+    let with = repro(&["table2", "--scale", "0.002", "--threads", "1", "--timings"]);
+    assert!(without.status.success() && with.status.success());
+    // stdout is byte-identical: --timings must never break the golden
+    // output contract.
+    assert_eq!(with.stdout, without.stdout, "--timings changed stdout");
+    let stderr = String::from_utf8_lossy(&with.stderr);
+    assert!(stderr.contains("[timing] suite"), "missing timing lines: {stderr}");
+    assert!(stderr.contains("cpus=4"), "timing line lacks suite description: {stderr}");
+    assert!(stderr.contains("across 10 jobs"), "timing line lacks job count: {stderr}");
+    // Without the flag, no timing lines appear.
+    assert!(!String::from_utf8_lossy(&without.stderr).contains("[timing]"));
+}
+
+#[test]
+fn help_documents_timings_flag() {
+    let out = repro(&["--help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("--timings"));
+}
+
+#[test]
 fn static_tables_run_with_explicit_threads() {
     let out = repro(&["table1", "table4", "--threads", "2"]);
     assert!(out.status.success());

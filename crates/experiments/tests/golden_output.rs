@@ -1,0 +1,76 @@
+//! Golden-output determinism guard.
+//!
+//! `jetty-repro all` stdout is kept byte-comparable across versions: the
+//! whole reproduction is deterministic (synthetic traces, fixed seeds, a
+//! deterministic engine), so any stdout drift is either an intentional
+//! output change — update the golden file deliberately — or a silent
+//! behaviour change in the simulator, which is exactly what this test
+//! exists to catch. The hot-path refactors (SoA caches, scratch-buffer
+//! fills, fast version maps) ride on this guarantee: they must be
+//! behaviour-preserving by construction, and this file is the reviewer's
+//! proof.
+//!
+//! Regenerate (only for an intentional output change) with:
+//!
+//! ```text
+//! cargo run --release --bin jetty-repro -- all --scale 0.02 --threads 2 \
+//!     > tests/golden/all_scale002.txt
+//! ```
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Repo-root path of the golden transcript.
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/all_scale002.txt")
+}
+
+#[test]
+fn all_scale002_stdout_matches_the_golden_file() {
+    let golden = std::fs::read(golden_path())
+        .expect("tests/golden/all_scale002.txt missing — see module docs to regenerate");
+    let out = Command::new(env!("CARGO_BIN_EXE_jetty-repro"))
+        .args(["all", "--scale", "0.02", "--threads", "2"])
+        .output()
+        .expect("failed to spawn jetty-repro");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    if out.stdout != golden {
+        // Locate the first divergence for a reviewable failure message.
+        let actual = String::from_utf8_lossy(&out.stdout);
+        let expected = String::from_utf8_lossy(&golden);
+        for (k, (a, e)) in actual.lines().zip(expected.lines()).enumerate() {
+            assert_eq!(
+                a,
+                e,
+                "stdout diverges from tests/golden/all_scale002.txt at line {} — \
+                 if the output change is intentional, regenerate the golden file \
+                 (see tests/golden_output.rs docs)",
+                k + 1
+            );
+        }
+        panic!(
+            "stdout length differs from the golden file ({} vs {} bytes) with a \
+             common prefix — regenerate tests/golden/all_scale002.txt if intentional",
+            out.stdout.len(),
+            golden.len()
+        );
+    }
+}
+
+#[test]
+fn thread_count_does_not_change_stdout() {
+    // The golden guarantee explicitly spans thread counts: the engine
+    // reassembles suites in application order, so worker scheduling must
+    // never reach stdout.
+    let run = |threads: &str| {
+        let out = Command::new(env!("CARGO_BIN_EXE_jetty-repro"))
+            .args(["table2", "--scale", "0.005", "--threads", threads])
+            .output()
+            .expect("failed to spawn jetty-repro");
+        assert!(out.status.success());
+        out.stdout
+    };
+    let serial = run("1");
+    assert_eq!(serial, run("2"));
+    assert_eq!(serial, run("3"));
+}

@@ -11,18 +11,21 @@
 //! The bus side keeps the permission bit truthful: whenever a snoop
 //! downgrades or invalidates an L2 subblock, the system calls
 //! [`L1Cache::downgrade`] / [`L1Cache::invalidate`] on the matching unit.
+//!
+//! Each line is packed into one `u64` (`tag << 3 | writable << 2 |
+//! dirty << 1 | valid`): the L1 is probed on every CPU access, so a lookup
+//! is one load and a couple of bit tests instead of a multi-word struct
+//! read.
 
 use jetty_core::UnitAddr;
 
 use crate::config::L1Config;
 
-#[derive(Clone, Copy, Debug, Default)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-    writable: bool,
-}
+/// Packed line flag bits (low 3 bits of the line word; tag in the rest).
+const VALID: u64 = 1 << 0;
+const DIRTY: u64 = 1 << 1;
+const WRITABLE: u64 = 1 << 2;
+const TAG_SHIFT: u32 = 3;
 
 /// Result of an L1 lookup.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -54,7 +57,8 @@ pub struct L1Victim {
 /// Direct-mapped L1 data cache indexed by coherence-unit address.
 #[derive(Clone, Debug)]
 pub struct L1Cache {
-    lines: Vec<Line>,
+    /// One packed word per line; 0 is an invalid (empty) line.
+    lines: Vec<u64>,
     index_mask: u64,
     index_bits: u32,
 }
@@ -64,7 +68,7 @@ impl L1Cache {
     pub fn new(config: L1Config) -> Self {
         let blocks = config.blocks();
         Self {
-            lines: vec![Line::default(); blocks],
+            lines: vec![0; blocks],
             index_mask: blocks as u64 - 1,
             index_bits: blocks.trailing_zeros(),
         }
@@ -76,12 +80,17 @@ impl L1Cache {
         (idx, tag)
     }
 
+    /// `true` when `line` is valid and carries `tag`.
+    fn matches(line: u64, tag: u64) -> bool {
+        line & VALID != 0 && line >> TAG_SHIFT == tag
+    }
+
     /// Probes the cache for `unit`.
     pub fn lookup(&self, unit: UnitAddr) -> L1Lookup {
         let (idx, tag) = self.split(unit);
-        let line = &self.lines[idx];
-        if line.valid && line.tag == tag {
-            if line.writable {
+        let line = self.lines[idx];
+        if Self::matches(line, tag) {
+            if line & WRITABLE != 0 {
                 L1Lookup::HitWritable
             } else {
                 L1Lookup::HitShared
@@ -101,9 +110,9 @@ impl L1Cache {
     pub fn mark_dirty(&mut self, unit: UnitAddr) {
         let (idx, tag) = self.split(unit);
         let line = &mut self.lines[idx];
-        assert!(line.valid && line.tag == tag, "mark_dirty on absent unit {unit}");
-        assert!(line.writable, "mark_dirty without write permission on {unit}");
-        line.dirty = true;
+        assert!(Self::matches(*line, tag), "mark_dirty on absent unit {unit}");
+        assert!(*line & WRITABLE != 0, "mark_dirty without write permission on {unit}");
+        *line |= DIRTY;
     }
 
     /// Grants write permission to a present unit (after a bus upgrade).
@@ -114,8 +123,8 @@ impl L1Cache {
     pub fn grant_write(&mut self, unit: UnitAddr) {
         let (idx, tag) = self.split(unit);
         let line = &mut self.lines[idx];
-        assert!(line.valid && line.tag == tag, "grant_write on absent unit {unit}");
-        line.writable = true;
+        assert!(Self::matches(*line, tag), "grant_write on absent unit {unit}");
+        *line |= WRITABLE;
     }
 
     /// Fills `unit`, returning the victim displaced by the fill (if any).
@@ -124,13 +133,13 @@ impl L1Cache {
     pub fn fill(&mut self, unit: UnitAddr, writable: bool) -> Option<L1Victim> {
         let (idx, tag) = self.split(unit);
         let line = &mut self.lines[idx];
-        let victim = if line.valid && line.tag != tag {
-            let victim_unit = UnitAddr::new((line.tag << self.index_bits) | idx as u64);
-            Some(L1Victim { unit: victim_unit, dirty: line.dirty })
+        let victim = if *line & VALID != 0 && *line >> TAG_SHIFT != tag {
+            let victim_unit = UnitAddr::new(((*line >> TAG_SHIFT) << self.index_bits) | idx as u64);
+            Some(L1Victim { unit: victim_unit, dirty: *line & DIRTY != 0 })
         } else {
             None
         };
-        *line = Line { tag, valid: true, dirty: false, writable };
+        *line = (tag << TAG_SHIFT) | VALID | if writable { WRITABLE } else { 0 };
         victim
     }
 
@@ -139,9 +148,9 @@ impl L1Cache {
     pub fn invalidate(&mut self, unit: UnitAddr) -> bool {
         let (idx, tag) = self.split(unit);
         let line = &mut self.lines[idx];
-        if line.valid && line.tag == tag {
-            let was_dirty = line.dirty;
-            *line = Line::default();
+        if Self::matches(*line, tag) {
+            let was_dirty = *line & DIRTY != 0;
+            *line = 0;
             was_dirty
         } else {
             false
@@ -154,10 +163,9 @@ impl L1Cache {
     pub fn downgrade(&mut self, unit: UnitAddr) -> bool {
         let (idx, tag) = self.split(unit);
         let line = &mut self.lines[idx];
-        if line.valid && line.tag == tag {
-            let was_dirty = line.dirty;
-            line.writable = false;
-            line.dirty = false;
+        if Self::matches(*line, tag) {
+            let was_dirty = *line & DIRTY != 0;
+            *line &= !(WRITABLE | DIRTY);
             was_dirty
         } else {
             false
@@ -174,8 +182,8 @@ impl L1Cache {
         self.lines
             .iter()
             .enumerate()
-            .filter(|(_, l)| l.valid)
-            .map(move |(idx, l)| UnitAddr::new((l.tag << self.index_bits) | idx as u64))
+            .filter(|(_, &l)| l & VALID != 0)
+            .map(move |(idx, &l)| UnitAddr::new(((l >> TAG_SHIFT) << self.index_bits) | idx as u64))
     }
 }
 
@@ -279,6 +287,19 @@ mod tests {
         let mut units: Vec<u64> = l1.valid_units().map(|u| u.raw()).collect();
         units.sort_unstable();
         assert_eq!(units, vec![0, 5]);
+    }
+
+    #[test]
+    fn refill_clears_stale_dirty_bit() {
+        // A fill must reset dirty/writable even when the index was valid
+        // with a *different* tag (the packed word is fully rewritten).
+        let mut l1 = small();
+        let a = UnitAddr::new(1);
+        l1.fill(a, true);
+        l1.mark_dirty(a);
+        l1.fill(UnitAddr::new(1 + 4), false);
+        assert_eq!(l1.lookup(UnitAddr::new(1 + 4)), L1Lookup::HitShared);
+        assert!(!l1.invalidate(UnitAddr::new(1 + 4)), "fresh fill must not be dirty");
     }
 
     #[test]

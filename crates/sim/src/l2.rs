@@ -9,30 +9,23 @@
 //! Each subblock also carries a data *version* used by the coherence
 //! checker: stores stamp the unit with a fresh global version, and fills
 //! copy the supplier's version, so any stale read is caught immediately.
+//!
+//! # Storage layout (hot path)
+//!
+//! The simulator probes this structure on every snoop of every bus
+//! transaction, so the storage is structure-of-arrays: one flat `tags`
+//! array, one flat `states` array and one flat `versions` array indexed by
+//! `block * subblocks + sub`, plus a per-block packed `valid` bitmask
+//! (bit `sub` set ⇔ `states[block * subblocks + sub]` is valid). A probe
+//! is then two or three adjacent loads with no per-block heap indirection,
+//! and `any_valid()`-style questions are a single `mask != 0` test. The
+//! invariant `states[u].is_valid() ⇔ mask bit set` (and `versions[u] == 0`
+//! whenever the state is Invalid) is maintained by every mutation below.
 
 use jetty_core::UnitAddr;
 
 use crate::config::L2Config;
 use crate::moesi::Moesi;
-
-#[derive(Clone, Debug)]
-struct Block {
-    tag: u64,
-    /// Per-subblock coherence state; all-Invalid means the slot is free.
-    states: Vec<Moesi>,
-    /// Per-subblock data version (checker support).
-    versions: Vec<u64>,
-}
-
-impl Block {
-    fn new(subblocks: usize) -> Self {
-        Self { tag: 0, states: vec![Moesi::Invalid; subblocks], versions: vec![0; subblocks] }
-    }
-
-    fn any_valid(&self) -> bool {
-        self.states.iter().any(|s| s.is_valid())
-    }
-}
 
 /// A valid subblock displaced by a block eviction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -45,10 +38,18 @@ pub struct EvictedUnit {
     pub version: u64,
 }
 
-/// Direct-mapped subblocked L2 cache.
+/// Direct-mapped subblocked L2 cache (structure-of-arrays storage; see the
+/// module docs for the layout and its invariants).
 #[derive(Clone, Debug)]
 pub struct L2Cache {
-    blocks: Vec<Block>,
+    /// Per-block tag.
+    tags: Vec<u64>,
+    /// Per-block packed valid bitmask; bit `sub` ⇔ subblock valid.
+    valid: Vec<u64>,
+    /// Per-subblock coherence state, indexed `block * subblocks + sub`.
+    states: Vec<Moesi>,
+    /// Per-subblock data version (checker support), same indexing.
+    versions: Vec<u64>,
     subblocks: usize,
     sub_mask: u64,
     sub_bits: u32,
@@ -61,14 +62,23 @@ impl L2Cache {
     pub fn new(config: L2Config) -> Self {
         let blocks = config.blocks();
         let subblocks = config.subblocks;
+        assert!(subblocks <= 64, "valid bitmask holds at most 64 subblocks per block");
         Self {
-            blocks: (0..blocks).map(|_| Block::new(subblocks)).collect(),
+            tags: vec![0; blocks],
+            valid: vec![0; blocks],
+            states: vec![Moesi::Invalid; blocks * subblocks],
+            versions: vec![0; blocks * subblocks],
             subblocks,
             sub_mask: subblocks as u64 - 1,
             sub_bits: subblocks.trailing_zeros(),
             index_mask: blocks as u64 - 1,
             index_bits: blocks.trailing_zeros(),
         }
+    }
+
+    /// Number of blocks in the tag array.
+    fn blocks(&self) -> usize {
+        self.tags.len()
     }
 
     /// Splits a unit address into (block index, block tag, subblock index).
@@ -84,12 +94,21 @@ impl L2Cache {
         UnitAddr::new((((tag << self.index_bits) | idx as u64) << self.sub_bits) | sub as u64)
     }
 
+    /// Flat index of `(idx, sub)` into `states`/`versions`.
+    fn slot(&self, idx: usize, sub: usize) -> usize {
+        (idx << self.sub_bits) | sub
+    }
+
+    /// `true` when `unit`'s subblock is valid under a matching tag.
+    fn is_present(&self, idx: usize, tag: u64, sub: usize) -> bool {
+        self.valid[idx] & (1u64 << sub) != 0 && self.tags[idx] == tag
+    }
+
     /// MOESI state of `unit` (`Invalid` when absent or tag mismatch).
     pub fn state(&self, unit: UnitAddr) -> Moesi {
         let (idx, tag, sub) = self.split(unit);
-        let block = &self.blocks[idx];
-        if block.any_valid() && block.tag == tag {
-            block.states[sub]
+        if self.is_present(idx, tag, sub) {
+            self.states[self.slot(idx, sub)]
         } else {
             Moesi::Invalid
         }
@@ -101,16 +120,34 @@ impl L2Cache {
     /// invalid, so exclude filters must not record the whole block).
     pub fn block_present(&self, unit: UnitAddr) -> bool {
         let (idx, tag, _) = self.split(unit);
-        let block = &self.blocks[idx];
-        block.any_valid() && block.tag == tag
+        self.valid[idx] != 0 && self.tags[idx] == tag
+    }
+
+    /// One-shot snoop probe: `(state, block_present)` with a single
+    /// address split and one tag/mask load pair (the bus delivers both
+    /// questions for every snoop, so this halves the per-snoop L2 work of
+    /// calling [`L2Cache::state`] and [`L2Cache::block_present`]
+    /// separately).
+    pub fn snoop_probe(&self, unit: UnitAddr) -> (Moesi, bool) {
+        let (idx, tag, sub) = self.split(unit);
+        let mask = self.valid[idx];
+        let block_present = mask != 0 && self.tags[idx] == tag;
+        let state = if block_present && mask & (1u64 << sub) != 0 {
+            self.states[self.slot(idx, sub)]
+        } else {
+            Moesi::Invalid
+        };
+        (state, block_present)
     }
 
     /// Data version of `unit`; 0 when absent.
     pub fn version(&self, unit: UnitAddr) -> u64 {
         let (idx, tag, sub) = self.split(unit);
-        let block = &self.blocks[idx];
-        if block.any_valid() && block.tag == tag {
-            block.versions[sub]
+        // An invalid subblock always holds version 0 (module invariant), so
+        // gating on the subblock's own valid bit matches the historical
+        // "any subblock valid and tag matches" behaviour exactly.
+        if self.is_present(idx, tag, sub) {
+            self.versions[self.slot(idx, sub)]
         } else {
             0
         }
@@ -123,13 +160,13 @@ impl L2Cache {
     /// Panics if the unit is absent (tag mismatch) — state changes to
     /// absent units are protocol bugs.
     pub fn set_state(&mut self, unit: UnitAddr, state: Moesi) {
+        // Invalidation must go through `invalidate` — writing `Invalid`
+        // here would desynchronise the valid bitmask from the state array.
+        assert!(state.is_valid(), "set_state with Invalid (use invalidate)");
         let (idx, tag, sub) = self.split(unit);
-        let block = &mut self.blocks[idx];
-        assert!(
-            block.any_valid() && block.tag == tag && block.states[sub].is_valid(),
-            "set_state on absent unit {unit}"
-        );
-        block.states[sub] = state;
+        assert!(self.is_present(idx, tag, sub), "set_state on absent unit {unit}");
+        let slot = self.slot(idx, sub);
+        self.states[slot] = state;
     }
 
     /// Stamps a present unit with a new data version (store completion).
@@ -139,12 +176,9 @@ impl L2Cache {
     /// Panics if the unit is absent.
     pub fn set_version(&mut self, unit: UnitAddr, version: u64) {
         let (idx, tag, sub) = self.split(unit);
-        let block = &mut self.blocks[idx];
-        assert!(
-            block.any_valid() && block.tag == tag && block.states[sub].is_valid(),
-            "set_version on absent unit {unit}"
-        );
-        block.versions[sub] = version;
+        assert!(self.is_present(idx, tag, sub), "set_version on absent unit {unit}");
+        let slot = self.slot(idx, sub);
+        self.versions[slot] = version;
     }
 
     /// Invalidates a present unit (snoop invalidation), returning its state
@@ -155,79 +189,86 @@ impl L2Cache {
     /// Panics if the unit is absent.
     pub fn invalidate(&mut self, unit: UnitAddr) -> (Moesi, u64) {
         let (idx, tag, sub) = self.split(unit);
-        let block = &mut self.blocks[idx];
-        assert!(
-            block.any_valid() && block.tag == tag && block.states[sub].is_valid(),
-            "invalidate on absent unit {unit}"
-        );
-        let prior = (block.states[sub], block.versions[sub]);
-        block.states[sub] = Moesi::Invalid;
-        block.versions[sub] = 0;
+        assert!(self.is_present(idx, tag, sub), "invalidate on absent unit {unit}");
+        let slot = self.slot(idx, sub);
+        let prior = (self.states[slot], self.versions[slot]);
+        self.states[slot] = Moesi::Invalid;
+        self.versions[slot] = 0;
+        self.valid[idx] &= !(1u64 << sub);
         prior
     }
 
-    /// Fills `unit` with `state`/`version`.
+    /// Fills `unit` with `state`/`version`, pushing the valid units evicted
+    /// to make room onto `evicted` (the buffer is cleared first): when the
+    /// resident block's tag differs, the *whole* block (every valid
+    /// subblock) is displaced. A fill into a matching resident block evicts
+    /// nothing.
     ///
-    /// Returns the valid units evicted to make room: when the resident
-    /// block's tag differs, the *whole* block (every valid subblock) is
-    /// displaced. A fill into a matching resident block evicts nothing.
+    /// The caller threads one scratch buffer through all fills, so the
+    /// steady state allocates nothing (the buffer's capacity saturates at
+    /// `subblocks` after the first conflict eviction).
     ///
     /// # Panics
     ///
     /// Panics when filling a unit that is already valid (the protocol only
     /// fills on misses) or with an `Invalid` state.
-    pub fn fill(&mut self, unit: UnitAddr, state: Moesi, version: u64) -> Vec<EvictedUnit> {
+    pub fn fill_into(
+        &mut self,
+        unit: UnitAddr,
+        state: Moesi,
+        version: u64,
+        evicted: &mut Vec<EvictedUnit>,
+    ) {
         assert!(state.is_valid(), "fill with Invalid state");
+        evicted.clear();
         let (idx, tag, sub) = self.split(unit);
-        let subblocks = self.subblocks;
-        let mut evicted = Vec::new();
-        // Collect victims first to avoid aliasing `self` borrows.
-        let needs_eviction = {
-            let block = &self.blocks[idx];
-            block.any_valid() && block.tag != tag
-        };
-        if needs_eviction {
-            let victim_tag = self.blocks[idx].tag;
-            for s in 0..subblocks {
-                let st = self.blocks[idx].states[s];
-                if st.is_valid() {
-                    evicted.push(EvictedUnit {
-                        unit: self.unit_addr(idx, victim_tag, s),
-                        state: st,
-                        version: self.blocks[idx].versions[s],
-                    });
-                }
+        if self.valid[idx] != 0 && self.tags[idx] != tag {
+            let victim_tag = self.tags[idx];
+            let mut mask = self.valid[idx];
+            while mask != 0 {
+                let s = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                let slot = self.slot(idx, s);
+                evicted.push(EvictedUnit {
+                    unit: self.unit_addr(idx, victim_tag, s),
+                    state: self.states[slot],
+                    version: self.versions[slot],
+                });
+                self.states[slot] = Moesi::Invalid;
+                self.versions[slot] = 0;
             }
-            let block = &mut self.blocks[idx];
-            block.states.fill(Moesi::Invalid);
-            block.versions.fill(0);
+            self.valid[idx] = 0;
         }
-        let block = &mut self.blocks[idx];
-        assert!(
-            !(block.any_valid() && block.tag == tag && block.states[sub].is_valid()),
-            "fill of already-valid unit {unit}"
-        );
-        block.tag = tag;
-        block.states[sub] = state;
-        block.versions[sub] = version;
+        assert!(!self.is_present(idx, tag, sub), "fill of already-valid unit {unit}");
+        let slot = self.slot(idx, sub);
+        self.tags[idx] = tag;
+        self.valid[idx] |= 1u64 << sub;
+        self.states[slot] = state;
+        self.versions[slot] = version;
+    }
+
+    /// Allocating convenience wrapper around [`L2Cache::fill_into`]
+    /// (tests and model-equivalence harnesses; the simulator hot path
+    /// threads a reusable scratch buffer instead).
+    pub fn fill(&mut self, unit: UnitAddr, state: Moesi, version: u64) -> Vec<EvictedUnit> {
+        let mut evicted = Vec::new();
+        self.fill_into(unit, state, version, &mut evicted);
         evicted
     }
 
     /// Iterates over all valid units with their states (checker aid).
     pub fn valid_units(&self) -> impl Iterator<Item = (UnitAddr, Moesi)> + '_ {
-        self.blocks.iter().enumerate().flat_map(move |(idx, block)| {
-            block
-                .states
-                .iter()
-                .enumerate()
-                .filter(|(_, s)| s.is_valid())
-                .map(move |(sub, &state)| (self.unit_addr(idx, block.tag, sub), state))
+        (0..self.blocks()).flat_map(move |idx| {
+            let tag = self.tags[idx];
+            (0..self.subblocks)
+                .filter(move |&sub| self.valid[idx] & (1u64 << sub) != 0)
+                .map(move |sub| (self.unit_addr(idx, tag, sub), self.states[self.slot(idx, sub)]))
         })
     }
 
     /// Number of valid units currently cached.
     pub fn population(&self) -> usize {
-        self.blocks.iter().map(|b| b.states.iter().filter(|s| s.is_valid()).count()).sum()
+        self.valid.iter().map(|m| m.count_ones() as usize).sum()
     }
 }
 
@@ -301,6 +342,25 @@ mod tests {
     }
 
     #[test]
+    fn fill_into_reuses_the_scratch_buffer() {
+        let mut l2 = small();
+        let mut scratch = Vec::new();
+        l2.fill_into(UnitAddr::new(0), Moesi::Modified, 1, &mut scratch);
+        assert!(scratch.is_empty());
+        l2.fill_into(UnitAddr::new(1), Moesi::Shared, 2, &mut scratch);
+        assert!(scratch.is_empty());
+        // Conflict: both subblocks land in the scratch buffer...
+        l2.fill_into(UnitAddr::new(8), Moesi::Exclusive, 3, &mut scratch);
+        assert_eq!(scratch.len(), 2);
+        let cap = scratch.capacity();
+        // ...and the next conflict reuses the same allocation.
+        l2.fill_into(UnitAddr::new(16), Moesi::Exclusive, 4, &mut scratch);
+        assert_eq!(scratch.len(), 1);
+        assert_eq!(scratch.capacity(), cap);
+        assert_eq!(scratch[0].unit, UnitAddr::new(8));
+    }
+
+    #[test]
     fn invalidate_returns_prior_state() {
         let mut l2 = small();
         let u = UnitAddr::new(2);
@@ -355,6 +415,19 @@ mod tests {
     }
 
     #[test]
+    fn invalid_subblock_reports_version_zero() {
+        // The version invariant behind the fast path: an invalid subblock
+        // under a matching tag always answers 0, as the historical
+        // tag-matched lookup did.
+        let mut l2 = small();
+        let u = UnitAddr::new(4);
+        l2.fill(u, Moesi::Modified, 9);
+        assert_eq!(l2.version(UnitAddr::new(5)), 0, "sibling never filled");
+        l2.invalidate(u);
+        assert_eq!(l2.version(u), 0, "invalidated subblock");
+    }
+
+    #[test]
     fn nsb_configuration_evicts_single_unit() {
         // Non-subblocked: one subblock per block.
         let mut l2 = L2Cache::new(L2Config::new(256, 64, 1));
@@ -367,7 +440,8 @@ mod tests {
     #[test]
     fn paper_sized_l2_geometry() {
         let l2 = L2Cache::new(L2Config::default());
-        assert_eq!(l2.blocks.len(), 16384);
+        assert_eq!(l2.blocks(), 16384);
         assert_eq!(l2.subblocks, 2);
+        assert_eq!(l2.states.len(), 16384 * 2);
     }
 }

@@ -47,6 +47,7 @@
 
 mod bus;
 mod config;
+pub mod fastmap;
 mod l1;
 mod l2;
 mod moesi;
@@ -58,6 +59,7 @@ mod wb;
 
 pub use bus::{BusKind, SnoopResponse};
 pub use config::{CheckLevel, L1Config, L2Config, SystemConfig};
+pub use fastmap::FastMap;
 pub use l1::{L1Cache, L1Lookup, L1Victim};
 pub use l2::{EvictedUnit, L2Cache};
 pub use moesi::Moesi;

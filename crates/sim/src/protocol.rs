@@ -86,6 +86,77 @@ impl fmt::Display for ProtocolKind {
     }
 }
 
+/// Forwards one trait method to the kind's zero-sized implementation.
+macro_rules! kind_dispatch {
+    ($self:expr, $f:ident ( $($arg:expr),* )) => {
+        match $self {
+            ProtocolKind::Moesi => MoesiProtocol.$f($($arg),*),
+            ProtocolKind::Mesi => MesiProtocol.$f($($arg),*),
+            ProtocolKind::Msi => MsiProtocol.$f($($arg),*),
+        }
+    };
+}
+
+/// `ProtocolKind` is itself a protocol object: every method statically
+/// dispatches (and inlines) to the matching zero-sized implementation.
+/// The simulator's per-event call sites use the kind directly so the
+/// protocol hooks on the access/snoop paths cost no vtable hop;
+/// [`ProtocolKind::protocol`] remains for code that wants an actual
+/// `&'static dyn` object.
+impl CoherenceProtocol for ProtocolKind {
+    fn name(&self) -> &'static str {
+        kind_dispatch!(self, name())
+    }
+
+    fn kind(&self) -> ProtocolKind {
+        *self
+    }
+
+    fn states(&self) -> &'static [Moesi] {
+        kind_dispatch!(self, states())
+    }
+
+    #[inline]
+    fn allows(&self, state: Moesi) -> bool {
+        kind_dispatch!(self, allows(state))
+    }
+
+    #[inline]
+    fn read_fill_state(&self, shared: bool) -> Moesi {
+        kind_dispatch!(self, read_fill_state(shared))
+    }
+
+    #[inline]
+    fn write_fill_state(&self) -> Moesi {
+        kind_dispatch!(self, write_fill_state())
+    }
+
+    #[inline]
+    fn remote_read_reaction(&self, state: Moesi) -> ReadReaction {
+        kind_dispatch!(self, remote_read_reaction(state))
+    }
+
+    #[inline]
+    fn wb_forward_state(&self, entry: &WbEntry) -> Moesi {
+        kind_dispatch!(self, wb_forward_state(entry))
+    }
+
+    #[inline]
+    fn wb_forward_write_needs_upgrade(&self, entry: &WbEntry) -> bool {
+        kind_dispatch!(self, wb_forward_write_needs_upgrade(entry))
+    }
+
+    #[inline]
+    fn dirty_on_evict(&self, state: Moesi) -> bool {
+        kind_dispatch!(self, dirty_on_evict(state))
+    }
+
+    #[inline]
+    fn evicted_may_have_sharers(&self, state: Moesi) -> bool {
+        kind_dispatch!(self, evicted_may_have_sharers(state))
+    }
+}
+
 /// What a valid remote copy does when it snoops a `BusRd`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ReadReaction {

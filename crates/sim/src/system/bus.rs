@@ -8,9 +8,10 @@
 //!
 //! [`CoherenceProtocol`]: crate::protocol::CoherenceProtocol
 
-use jetty_core::{MissScope, UnitAddr};
+use jetty_core::{MissScope, SnoopFilter, UnitAddr};
 
 use crate::bus::{BusKind, SnoopResponse};
+use crate::protocol::CoherenceProtocol;
 use crate::system::System;
 use crate::wb::WbEntry;
 
@@ -57,11 +58,11 @@ impl System {
 
     /// Delivers one snoop to node `i`.
     fn snoop(&mut self, i: usize, unit: UnitAddr, kind: BusKind, response: &mut SnoopResponse) {
-        let would_hit = self.nodes[i].l2.state(unit).is_valid();
+        let (state, block_present) = self.nodes[i].l2.snoop_probe(unit);
+        let would_hit = state.is_valid();
         // On a miss, distinguish a whole-tag miss (the entire block absent:
         // exclude filters may record it) from a partial one.
-        let scope =
-            if self.nodes[i].l2.block_present(unit) { MissScope::Unit } else { MissScope::Block };
+        let scope = if block_present { MissScope::Unit } else { MissScope::Block };
         // A writeback retired to memory as part of this snoop (borrow of
         // the node ends before memory is updated).
         let mut retired: Option<WbEntry> = None;
@@ -133,10 +134,9 @@ impl System {
         self.nodes[i].stats.snoop_hits += 1;
         response.remote_copies += 1;
 
-        let state = self.nodes[i].l2.state(unit);
         match kind {
             BusKind::Read => {
-                let reaction = self.protocol.remote_read_reaction(state);
+                let reaction = self.config.protocol.remote_read_reaction(state);
                 // A dirty L1 copy folds into the L2 before any supply
                 // (version already current — stores stamp eagerly).
                 if self.nodes[i].l1.downgrade(unit) {

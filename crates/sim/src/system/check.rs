@@ -15,10 +15,11 @@
 //! The filter-safety assertion itself lives on the snoop path
 //! ([`bus`](super::bus)) and runs at every check level.
 
-use jetty_core::UnitAddr;
+use jetty_core::{SnoopFilter, UnitAddr};
 
 use crate::bus::SnoopResponse;
 use crate::moesi::Moesi;
+use crate::protocol::CoherenceProtocol;
 use crate::system::System;
 use crate::wb::WbEntry;
 
@@ -43,8 +44,8 @@ impl System {
         }
         if self.config.check.is_full() && !response.supplied_by_wb {
             // Memory supplies: its copy must be current.
-            let mem = self.memory_versions.get(&unit.raw()).copied().unwrap_or(0);
-            let latest = self.latest_versions.get(&unit.raw()).copied().unwrap_or(0);
+            let mem = self.memory_versions.get(unit.raw()).unwrap_or(0);
+            let latest = self.latest_versions.get(unit.raw()).unwrap_or(0);
             assert_eq!(
                 mem, latest,
                 "memory supplied stale data for {unit}: memory v{mem}, latest v{latest}"
@@ -53,7 +54,7 @@ impl System {
         }
         // Unchecked mode (or WB supply handled inside the snoop): versions
         // are advisory; WB supplies set `supplied_version` too, so 0 here.
-        self.memory_versions.get(&unit.raw()).copied().unwrap_or(0)
+        self.memory_versions.get(unit.raw()).unwrap_or(0)
     }
 
     /// Asserts that a completed read observed the newest written data.
@@ -61,7 +62,7 @@ impl System {
         if !self.config.check.is_full() {
             return;
         }
-        let latest = self.latest_versions.get(&unit.raw()).copied().unwrap_or(0);
+        let latest = self.latest_versions.get(unit.raw()).unwrap_or(0);
         let seen = self.nodes[cpu].l2.version(unit);
         assert_eq!(
             seen, latest,
@@ -78,9 +79,9 @@ impl System {
         let states: Vec<Moesi> = self.nodes.iter().map(|n| n.l2.state(unit)).collect();
         for (i, s) in states.iter().enumerate() {
             assert!(
-                self.protocol.allows(*s),
+                self.config.protocol.allows(*s),
                 "node {i} holds {s} for {unit}, outside the {} state set",
-                self.protocol.name()
+                self.config.protocol.name()
             );
         }
         let valid = states.iter().filter(|s| s.is_valid()).count();

@@ -8,11 +8,12 @@
 //!
 //! [`CoherenceProtocol`]: crate::protocol::CoherenceProtocol
 
-use jetty_core::UnitAddr;
+use jetty_core::{SnoopFilter, UnitAddr};
 
 use crate::bus::BusKind;
 use crate::l1::L1Lookup;
 use crate::moesi::Moesi;
+use crate::protocol::CoherenceProtocol;
 use crate::system::{AccessOutcome, System};
 use crate::wb::WbEntry;
 
@@ -41,14 +42,14 @@ impl System {
             // transaction. The protocol decides the re-entry state (MOESI:
             // a once-shared entry returns as Owned, a sole copy as
             // Modified; MESI/MSI entries are always sole dirty copies).
-            let state = self.protocol.wb_forward_state(&entry);
+            let state = self.config.protocol.wb_forward_state(&entry);
             self.install(cpu, unit, state, entry.version);
             self.fill_l1(cpu, unit, state.is_writable());
             AccessOutcome { l1_hit: false, l2_hit: false, bus: None }
         } else {
             // L2 miss: bus read.
             let response = self.bus_transaction(cpu, unit, BusKind::Read);
-            let install = self.protocol.read_fill_state(response.shared());
+            let install = self.config.protocol.read_fill_state(response.shared());
             let version = self.incoming_version(unit, &response);
             self.install(cpu, unit, install, version);
             self.fill_l1(cpu, unit, install.is_writable());
@@ -122,18 +123,18 @@ impl System {
                     // The protocol decides whether remote Shared copies may
                     // still exist (MOESI Owned-origin entries), requiring
                     // an invalidating upgrade before taking exclusivity.
-                    if self.protocol.wb_forward_write_needs_upgrade(&entry) {
+                    if self.config.protocol.wb_forward_write_needs_upgrade(&entry) {
                         self.bus_transaction(cpu, unit, BusKind::Upgrade);
                         self.nodes[cpu].stats.bus_upgrades += 1;
                     }
-                    self.install(cpu, unit, self.protocol.write_fill_state(), entry.version);
+                    self.install(cpu, unit, self.config.protocol.write_fill_state(), entry.version);
                     self.fill_l1(cpu, unit, true);
                     self.complete_store(cpu, unit);
                     AccessOutcome { l1_hit: false, l2_hit: false, bus: None }
                 } else {
                     let response = self.bus_transaction(cpu, unit, BusKind::ReadExclusive);
                     let version = self.incoming_version(unit, &response);
-                    self.install(cpu, unit, self.protocol.write_fill_state(), version);
+                    self.install(cpu, unit, self.config.protocol.write_fill_state(), version);
                     self.fill_l1(cpu, unit, true);
                     self.complete_store(cpu, unit);
                     self.nodes[cpu].stats.bus_read_exclusives += 1;
@@ -199,26 +200,30 @@ impl System {
     /// Installs a freshly fetched unit into the local L2, evicting a
     /// conflicting block if needed, and notifies the filter bank.
     pub(super) fn install(&mut self, cpu: usize, unit: UnitAddr, state: Moesi, version: u64) {
-        debug_assert!(self.protocol.allows(state), "install of foreign state {state}");
-        let evicted = {
+        debug_assert!(self.config.protocol.allows(state), "install of foreign state {state}");
+        // The system-owned scratch buffer is moved out for the duration of
+        // the fill (so `self` stays borrowable below) and returned at the
+        // end: steady-state installs perform zero heap allocation.
+        let mut evicted = std::mem::take(&mut self.evict_scratch);
+        {
             let node = &mut self.nodes[cpu];
             node.stats.l2_tag_writes += 1; // new tag/state
             node.stats.l2_data_writes += 1; // the arriving data
-            node.l2.fill(unit, state, version)
-        };
+            node.l2.fill_into(unit, state, version, &mut evicted);
+        }
         for ev in &evicted {
             let node = &mut self.nodes[cpu];
             node.stats.l2_evicted_units += 1;
             // Inclusion: drop the L1 copy (its data is not newer than the
             // L2's — stores stamp the L2 version eagerly).
             node.l1.invalidate(ev.unit);
-            if self.protocol.dirty_on_evict(ev.state) {
+            if self.config.protocol.dirty_on_evict(ev.state) {
                 node.stats.l2_evict_data_reads += 1; // read out for the writeback
                 node.stats.wb_pushes += 1;
                 if let Some(forced) = node.wb.push(WbEntry {
                     unit: ev.unit,
                     version: ev.version,
-                    shared: self.protocol.evicted_may_have_sharers(ev.state),
+                    shared: self.config.protocol.evicted_may_have_sharers(ev.state),
                 }) {
                     node.stats.wb_drains += 1;
                     self.retire_to_memory(forced);
@@ -231,5 +236,6 @@ impl System {
         for f in &mut self.nodes[cpu].filters {
             f.on_allocate(unit);
         }
+        self.evict_scratch = evicted;
     }
 }

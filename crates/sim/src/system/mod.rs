@@ -59,14 +59,13 @@ mod check;
 mod local;
 mod node;
 
-use std::collections::HashMap;
-
-use jetty_core::{AddrSpace, FilterSpec};
+use jetty_core::{AddrSpace, FilterSpec, SnoopFilter};
 
 use crate::bus::BusKind;
 use crate::config::SystemConfig;
+use crate::fastmap::FastMap;
 use crate::l1::L1Cache;
-use crate::l2::L2Cache;
+use crate::l2::{EvictedUnit, L2Cache};
 use crate::moesi::Moesi;
 use crate::protocol::CoherenceProtocol;
 use crate::stats::{NodeStats, RunStats, SystemStats};
@@ -131,17 +130,19 @@ impl FilterReport {
 pub struct System {
     config: SystemConfig,
     space: AddrSpace,
-    /// Resolved protocol behaviour (from `config.protocol`).
-    protocol: &'static dyn CoherenceProtocol,
     specs: Vec<FilterSpec>,
     nodes: Vec<Node>,
     stats: SystemStats,
     /// Monotonic data-version source (checker).
     next_version: u64,
-    /// Memory's current version per unit (checker; absent = 0).
-    memory_versions: HashMap<u64, u64>,
+    /// Memory's current version per unit (checker; absent = 0). Probed on
+    /// every bus fill, hence a [`FastMap`] rather than a SipHash map.
+    memory_versions: FastMap,
     /// Latest version ever written per unit (checker; absent = 0).
-    latest_versions: HashMap<u64, u64>,
+    latest_versions: FastMap,
+    /// Reusable eviction scratch threaded through every L2 fill so the
+    /// steady-state install path allocates nothing.
+    evict_scratch: Vec<EvictedUnit>,
 }
 
 // Compile-time audit that a whole simulated system can move across
@@ -166,20 +167,20 @@ impl System {
                 l1: L1Cache::new(config.l1),
                 l2: L2Cache::new(config.l2),
                 wb: WritebackBuffer::new(config.wb_entries),
-                filters: specs.iter().map(|s| s.build(space)).collect(),
+                filters: specs.iter().map(|s| s.build_any(space)).collect(),
                 stats: NodeStats::default(),
             })
             .collect();
         Self {
             config,
             space,
-            protocol: config.protocol.protocol(),
             specs: specs.to_vec(),
             nodes,
             stats: SystemStats::new(config.cpus),
             next_version: 0,
-            memory_versions: HashMap::new(),
-            latest_versions: HashMap::new(),
+            memory_versions: FastMap::new(),
+            latest_versions: FastMap::new(),
+            evict_scratch: Vec::new(),
         }
     }
 
@@ -198,9 +199,12 @@ impl System {
         self.config.cpus
     }
 
-    /// The coherence protocol in use.
+    /// The coherence protocol in use, as a behaviour object. Internal call
+    /// sites use `self.config.protocol` directly (static dispatch); this
+    /// accessor derives the same answer, so there is a single source of
+    /// protocol truth on the struct.
     pub fn protocol(&self) -> &'static dyn CoherenceProtocol {
-        self.protocol
+        self.config.protocol.protocol()
     }
 
     /// Applies one trace reference.

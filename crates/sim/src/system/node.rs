@@ -2,7 +2,7 @@
 //! helpers. Everything that needs cross-node or bus context lives in
 //! [`local`](super::local) and [`bus`](super::bus) instead.
 
-use jetty_core::{SnoopFilter, UnitAddr};
+use jetty_core::{AnyFilter, UnitAddr};
 
 use crate::l1::L1Cache;
 use crate::l2::L2Cache;
@@ -10,11 +10,15 @@ use crate::stats::NodeStats;
 use crate::wb::{WbEntry, WritebackBuffer};
 
 /// One SMP node.
+///
+/// The filter bank is stored as concrete [`AnyFilter`] values — one
+/// contiguous allocation, statically dispatched probes — because every bus
+/// snoop walks the whole bank (see `jetty_core::AnyFilter`).
 pub(super) struct Node {
     pub(super) l1: L1Cache,
     pub(super) l2: L2Cache,
     pub(super) wb: WritebackBuffer,
-    pub(super) filters: Vec<Box<dyn SnoopFilter>>,
+    pub(super) filters: Vec<AnyFilter>,
     pub(super) stats: NodeStats,
 }
 

@@ -7,8 +7,6 @@
 //! served from the buffered data — the WB briefly acts as the owner of the
 //! evicted unit.
 
-use std::collections::VecDeque;
-
 use jetty_core::UnitAddr;
 
 /// One buffered writeback.
@@ -25,9 +23,15 @@ pub struct WbEntry {
 }
 
 /// FIFO writeback buffer with associative snoop lookup.
+///
+/// Backed by a plain `Vec` in FIFO order (oldest first): the buffer holds
+/// at most a handful of entries and is *probed* on every bus snoop but
+/// *mutated* only on evictions and drains, so the probe — a linear scan of
+/// one contiguous, usually empty slice — is what the storage is shaped
+/// for. Removal pays an `O(len)` shift, which is noise at this capacity.
 #[derive(Clone, Debug)]
 pub struct WritebackBuffer {
-    entries: VecDeque<WbEntry>,
+    entries: Vec<WbEntry>,
     capacity: usize,
 }
 
@@ -39,21 +43,25 @@ impl WritebackBuffer {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity >= 1, "writeback buffer needs at least one entry");
-        Self { entries: VecDeque::with_capacity(capacity), capacity }
+        Self { entries: Vec::with_capacity(capacity), capacity }
     }
 
     /// Queues a dirty unit. If the buffer is full, the oldest entry is
     /// forced out first and returned so the caller can retire it to memory.
     pub fn push(&mut self, entry: WbEntry) -> Option<WbEntry> {
         let forced =
-            if self.entries.len() == self.capacity { self.entries.pop_front() } else { None };
-        self.entries.push_back(entry);
+            if self.entries.len() == self.capacity { Some(self.entries.remove(0)) } else { None };
+        self.entries.push(entry);
         forced
     }
 
     /// Retires the oldest entry (bus idle drain), if any.
     pub fn drain_one(&mut self) -> Option<WbEntry> {
-        self.entries.pop_front()
+        if self.entries.is_empty() {
+            None
+        } else {
+            Some(self.entries.remove(0))
+        }
     }
 
     /// Associative probe for `unit` (every snoop does this).
@@ -64,7 +72,7 @@ impl WritebackBuffer {
     /// Removes and returns the entry for `unit` (snoop took ownership).
     pub fn remove(&mut self, unit: UnitAddr) -> Option<WbEntry> {
         let pos = self.entries.iter().position(|e| e.unit == unit)?;
-        self.entries.remove(pos)
+        Some(self.entries.remove(pos))
     }
 
     /// Current occupancy.

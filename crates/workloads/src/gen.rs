@@ -99,6 +99,16 @@ impl TraceGen {
     }
 
     /// References this generator will produce in total.
+    ///
+    /// This is the *whole-trace* length fixed at construction — it does
+    /// not decrease as the iterator is consumed. Beware the shadowing
+    /// footgun: this inherent method hides
+    /// [`ExactSizeIterator::len`], which reports *remaining* items;
+    /// `gen.len()` and `ExactSizeIterator::len(&gen)` therefore disagree
+    /// once iteration has started. Like [`TraceGen::footprint`], read it
+    /// off the same generator you then run — never build a second
+    /// generator just to ask for the length (the runner's `run_app`
+    /// debug-asserts this single-pass discipline).
     pub fn len(&self) -> u64 {
         self.total
     }
@@ -109,7 +119,8 @@ impl TraceGen {
     }
 
     /// The workload's allocated memory footprint in bytes (the paper's
-    /// "MA" column).
+    /// "MA" column). Fixed at construction; valid to read at any point,
+    /// before or after iteration.
     pub fn footprint(&self) -> u64 {
         self.footprint
     }
@@ -124,7 +135,12 @@ impl Iterator for TraceGen {
         }
         self.remaining -= 1;
         let cpu = self.next_cpu;
-        self.next_cpu = (self.next_cpu + 1) % self.ncpu;
+        // Branch instead of `%`: the round-robin advance runs once per
+        // generated reference.
+        self.next_cpu += 1;
+        if self.next_cpu == self.ncpu {
+            self.next_cpu = 0;
+        }
         let rng = &mut self.rngs[cpu];
         let pick: f64 = rng.gen::<f64>() * self.total_weight;
         let seg =

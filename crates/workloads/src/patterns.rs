@@ -28,33 +28,29 @@ struct CpuRegions {
     ncpu: u64,
     /// Arena: one base per CPU. Interleaved: a single shared base.
     bases: Vec<u64>,
+    /// Interleaved only, precomputed at construction (`addr` runs once per
+    /// generated reference): page colors preserved by the frame
+    /// assignment, and the pool's group count. Both are powers of two.
+    colors: u64,
+    pool_groups: u64,
 }
 
 impl CpuRegions {
     fn new(ncpu: usize, bytes: u64, layout: RegionLayout, alloc: &mut Layout) -> Self {
+        let ncpu64 = ncpu as u64;
+        // Pool rounded up to a power of two so the frame scramble is a
+        // bijection (interleaved layout only).
+        let pool_pages = (bytes.div_ceil(PAGE) * ncpu64).next_power_of_two();
+        // The 64 KB L1 spans 16 pages, so coloring on 16 frames keeps each
+        // CPU's L1 set mapping identical to a contiguous allocation —
+        // exactly what page-coloring allocators guarantee on physically
+        // indexed caches.
+        let colors = 16u64.min(pool_pages);
         let bases = match layout {
             RegionLayout::Arena => (0..ncpu).map(|_| alloc.alloc(bytes)).collect(),
-            RegionLayout::PageInterleaved => {
-                // Round the shared pool up to a power of two so the frame
-                // scramble is a bijection.
-                let pages = (bytes.div_ceil(PAGE) * ncpu as u64).next_power_of_two();
-                vec![alloc.alloc(pages * PAGE)]
-            }
+            RegionLayout::PageInterleaved => vec![alloc.alloc(pool_pages * PAGE)],
         };
-        Self { layout, bytes, ncpu: ncpu as u64, bases }
-    }
-
-    /// Pages in the interleaved pool (always a power of two).
-    fn pool_pages(&self) -> u64 {
-        (self.bytes.div_ceil(PAGE) * self.ncpu).next_power_of_two()
-    }
-
-    /// Page colors preserved by the frame assignment: the 64 KB L1 spans
-    /// 16 pages, so coloring on 16 frames keeps each CPU's L1 set mapping
-    /// identical to a contiguous allocation — exactly what page-coloring
-    /// allocators guarantee on physically indexed caches.
-    fn colors(&self) -> u64 {
-        16u64.min(self.pool_pages())
+        Self { layout, bytes, ncpu: ncpu64, bases, colors, pool_groups: pool_pages / colors }
     }
 
     /// Physical address of logical `offset` within `cpu`'s region.
@@ -74,13 +70,14 @@ impl CpuRegions {
             RegionLayout::PageInterleaved => {
                 let page = offset / PAGE;
                 let within = offset % PAGE;
-                let colors = self.colors();
-                let color = page % colors;
-                let group = (page / colors) * self.ncpu + cpu as u64;
-                let pool_groups = self.pool_pages() / colors;
+                // `colors` is a power of two: mask/shift instead of
+                // division (this runs once per generated reference).
+                let color_bits = self.colors.trailing_zeros();
+                let color = page & (self.colors - 1);
+                let group = (page >> color_bits) * self.ncpu + cpu as u64;
                 // Odd multiplier mod a power of two is a bijection.
-                let group = group.wrapping_mul(0x9E37_79B1) & (pool_groups - 1);
-                let frame = group * colors + color;
+                let group = group.wrapping_mul(0x9E37_79B1) & (self.pool_groups - 1);
+                let frame = (group << color_bits) | color;
                 self.bases[0] + frame * PAGE + within
             }
         }
@@ -233,7 +230,15 @@ impl PrivateState {
             self.hot_bytes + random_word(self.warm_bytes, rng)
         } else {
             let pos = self.cold_pos[cpu];
-            self.cold_pos[cpu] = (pos + UNIT) % self.cold_bytes.max(UNIT);
+            // `(pos + UNIT) % cold_bytes.max(UNIT)` as a conditional wrap:
+            // pos < bound and UNIT <= bound, so one subtraction suffices
+            // (no division on the per-reference path).
+            let bound = self.cold_bytes.max(UNIT);
+            let mut next = pos + UNIT;
+            if next >= bound {
+                next -= bound;
+            }
+            self.cold_pos[cpu] = next;
             self.hot_bytes + self.warm_bytes + pos
         };
         RefOut { addr: self.regions.addr(cpu, offset), write: rng.gen_bool(self.write_frac) }
@@ -279,7 +284,14 @@ impl StreamingState {
         self.ref_in_unit[cpu] += 1;
         if self.ref_in_unit[cpu] == self.refs_per_unit {
             self.ref_in_unit[cpu] = 0;
-            self.pos[cpu] = (self.pos[cpu] + UNIT) % self.bytes.max(UNIT);
+            // Conditional wrap, as in `PrivateState` (pos < bound, step
+            // UNIT <= bound).
+            let bound = self.bytes.max(UNIT);
+            let mut next = self.pos[cpu] + UNIT;
+            if next >= bound {
+                next -= bound;
+            }
+            self.pos[cpu] = next;
         }
         RefOut { addr: self.regions.addr(cpu, offset), write: rng.gen_bool(self.write_frac) }
     }
@@ -424,7 +436,10 @@ impl PcState {
             ch.wref += 1;
             if ch.wref == self.refs_per_unit {
                 ch.wref = 0;
-                ch.wpos = (ch.wpos + 1) % ch.units;
+                ch.wpos += 1;
+                if ch.wpos == ch.units {
+                    ch.wpos = 0;
+                }
             }
             RefOut { addr, write: true }
         } else {
@@ -434,7 +449,10 @@ impl PcState {
             ch.rref[slot] += 1;
             if ch.rref[slot] == self.refs_per_unit {
                 ch.rref[slot] = 0;
-                ch.rpos[slot] = (ch.rpos[slot] + 1) % ch.units;
+                ch.rpos[slot] += 1;
+                if ch.rpos[slot] == ch.units {
+                    ch.rpos[slot] = 0;
+                }
             }
             RefOut { addr, write: false }
         }
@@ -450,10 +468,17 @@ pub struct MigratoryState {
     record_bytes: u64,
     hold: u64,
     ncpu: usize,
-    /// Global reference counter; the epoch advances every `hold * ncpu`
-    /// references so each owner gets `hold` references per rotation.
-    ticks: u64,
-    /// Per-CPU cursor within its owned residue class.
+    /// Current ownership epoch; advances every `hold * ncpu` references so
+    /// each owner gets `hold` references per rotation. Maintained
+    /// incrementally (with `tick_in_epoch`) so the per-reference path pays
+    /// a counter and compare instead of a division.
+    epoch: u64,
+    /// References issued within the current epoch.
+    tick_in_epoch: u64,
+    /// Records per ownership residue class (`max(records / ncpu, 1)`).
+    per_class: usize,
+    /// Per-CPU cursor within its owned residue class, stored pre-wrapped
+    /// into `0..per_class`.
     cursor: Vec<usize>,
     /// Per-CPU position in the read-read-write visit cycle.
     visit: Vec<u8>,
@@ -471,23 +496,24 @@ impl MigratoryState {
             record_bytes,
             hold,
             ncpu,
-            ticks: 0,
+            epoch: 0,
+            tick_in_epoch: 0,
+            per_class: (records / ncpu).max(1),
             cursor: vec![0; ncpu],
             visit: vec![0; ncpu],
         }
     }
 
-    fn epoch(&self) -> u64 {
-        self.ticks / (self.hold * self.ncpu as u64)
-    }
-
     fn next_ref(&mut self, cpu: usize) -> RefOut {
-        let epoch = self.epoch();
-        self.ticks += 1;
+        let epoch = self.epoch;
+        self.tick_in_epoch += 1;
+        if self.tick_in_epoch == self.hold * self.ncpu as u64 {
+            self.tick_in_epoch = 0;
+            self.epoch += 1;
+        }
         // CPU owns records r with (r + epoch) % ncpu == cpu.
         let residue = (cpu as u64 + epoch) % self.ncpu as u64;
-        let per_class = self.records / self.ncpu;
-        let k = self.cursor[cpu] % per_class.max(1);
+        let k = self.cursor[cpu];
         let record = residue as usize + k * self.ncpu;
         let record = record.min(self.records - 1);
         // Visit cycle: read, read, write — then move to the next record.
@@ -495,7 +521,10 @@ impl MigratoryState {
         let write = phase == 2;
         self.visit[cpu] = (phase + 1) % 3;
         if self.visit[cpu] == 0 {
-            self.cursor[cpu] = self.cursor[cpu].wrapping_add(1);
+            self.cursor[cpu] += 1;
+            if self.cursor[cpu] == self.per_class {
+                self.cursor[cpu] = 0;
+            }
         }
         let addr = self.base
             + record as u64 * self.record_bytes

@@ -1,16 +1,22 @@
 #!/usr/bin/env bash
 # Regenerates BENCH_baseline.json: wall-clock timings of representative
 # jetty-repro invocations, so successive PRs have a perf trajectory to
-# compare against. Schema 3 records the host thread count, times the full
-# reproduction both sequentially (--threads 1) and on the parallel engine
-# (--threads <nproc>), and adds the MOESI/MESI/MSI protocol sweep (three
-# suites through the engine). Usage: scripts/bench_baseline.sh [reps]
+# compare against. Schema 4 keeps the schema-3 measurements (host thread
+# count, serial + parallel full reproduction, the MOESI/MESI/MSI protocol
+# sweep), adds the hot-path criterion throughputs (SoA L2 probe/fill and
+# the FastMap version map, benches/hotpath.rs), and preserves the previous
+# file's full-scale value under "previous" so the before/after of perf
+# work stays on record. Usage: scripts/bench_baseline.sh [reps]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 REPS="${1:-3}"
 BIN=target/release/jetty-repro
 THREADS="$(nproc)"
+
+# The before: whatever the current baseline file reports, carried forward.
+prev_schema=$(grep -o '"schema": [0-9]*' BENCH_baseline.json 2>/dev/null | head -1 | grep -o '[0-9]*' || echo null)
+prev_full=$(grep -o '"repro_all_full_scale_ms": [0-9]*' BENCH_baseline.json 2>/dev/null | head -1 | grep -o '[0-9]*$' || echo null)
 
 cargo build --release --bin jetty-repro >/dev/null
 
@@ -38,9 +44,20 @@ protocols_parallel_ms=$(time_ms protocols --scale 0.1 --threads "$THREADS")
 full_ms=$(time_ms all --scale 1.0 --threads 1)
 full_parallel_ms=$(time_ms all --scale 1.0 --threads "$THREADS")
 
+# Hot-path criterion throughputs (Melem/s; the bench prints
+# "hotpath/<name> ... X.XXX Melem/s").
+hotpath_out=$(cargo bench --bench hotpath 2>/dev/null | grep '^hotpath/')
+hp() {
+    echo "$hotpath_out" | grep "^hotpath/$1 " | awk '{print $(NF-1)}'
+}
+l2_probe=$(hp l2_snoop_probe)
+l2_fill=$(hp l2_fill_evict)
+fastmap=$(hp version_map_fastmap)
+stdmap=$(hp version_map_std_hashmap)
+
 cat > BENCH_baseline.json <<EOF
 {
-  "schema": 3,
+  "schema": 4,
   "tool": "scripts/bench_baseline.sh",
   "reps": $REPS,
   "threads": $THREADS,
@@ -54,6 +71,16 @@ cat > BENCH_baseline.json <<EOF
     "repro_protocols_scale0.1_parallel_ms": $protocols_parallel_ms,
     "repro_all_full_scale_ms": $full_ms,
     "repro_all_full_scale_parallel_ms": $full_parallel_ms
+  },
+  "hotpath_melems_per_s": {
+    "l2_snoop_probe": $l2_probe,
+    "l2_fill_evict": $l2_fill,
+    "version_map_fastmap": $fastmap,
+    "version_map_std_hashmap": $stdmap
+  },
+  "previous": {
+    "schema": $prev_schema,
+    "repro_all_full_scale_ms": $prev_full
   }
 }
 EOF

@@ -16,11 +16,14 @@ cargo test -q
 echo "==> cargo build --examples --benches"
 cargo build --examples --benches
 
+echo "==> cargo bench --no-run (benches must always compile)"
+cargo bench --no-run
+
 echo "==> cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 
-echo "==> parallel engine smoke: jetty-repro all --scale 0.02 --threads 2"
-target/release/jetty-repro all --scale 0.02 --threads 2 >/dev/null
+echo "==> golden output: jetty-repro all --scale 0.02 --threads 2 vs tests/golden/all_scale002.txt"
+target/release/jetty-repro all --scale 0.02 --threads 2 | diff -u tests/golden/all_scale002.txt -
 
 echo "==> protocol sweep smoke: jetty-repro protocols --scale 0.02 --threads 2"
 target/release/jetty-repro protocols --scale 0.02 --threads 2 >/dev/null
