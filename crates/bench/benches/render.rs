@@ -1,0 +1,41 @@
+//! Renderer benches: the typed-results pipeline decoupled rendering from
+//! simulation, so rendering cost is now measurable (and optimisable) on
+//! its own. One shared suite run feeds every bench; each bench times one
+//! renderer over the same populated [`ResultSet`].
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jetty_bench::bench_suite_with;
+use jetty_core::FilterSpec;
+use jetty_experiments::results::render::{CsvRenderer, JsonRenderer, Renderer, TextRenderer};
+use jetty_experiments::results::ResultSet;
+use jetty_experiments::{figures, tables};
+
+/// A representative multi-table set: the workload tables plus one
+/// comma-bearing-label figure (exercises CSV quoting) from one suite run.
+fn sample_set() -> ResultSet {
+    let runs = bench_suite_with(vec![
+        FilterSpec::exclude(8, 2),
+        FilterSpec::hybrid_scalar(10, 4, 7, 32, 4),
+        FilterSpec::hybrid_scalar(9, 4, 7, 32, 4),
+        FilterSpec::hybrid_scalar(8, 4, 7, 32, 4),
+    ]);
+    let mut set = ResultSet::new();
+    set.push(tables::table1());
+    set.push(tables::table2(&runs));
+    set.push(tables::table3(&runs));
+    set.push(figures::fig6(&runs, figures::Fig6Panel::AllSerial));
+    set.push(tables::calibration(&runs));
+    set
+}
+
+fn render_benches(c: &mut Criterion) {
+    let set = sample_set();
+    let mut group = c.benchmark_group("render");
+    group.bench_function("text", |b| b.iter(|| TextRenderer.render_set(&set).len()));
+    group.bench_function("json", |b| b.iter(|| JsonRenderer.render_set(&set).len()));
+    group.bench_function("csv", |b| b.iter(|| CsvRenderer.render_set(&set).len()));
+    group.finish();
+}
+
+criterion_group!(benches, render_benches);
+criterion_main!(benches);

@@ -9,7 +9,7 @@ use std::fmt;
 use crate::addr::{AddrSpace, UnitAddr};
 use crate::exclude::{ExcludeConfig, ExcludeJetty};
 use crate::filter::{ArraySpec, FilterActivity, MissScope, SnoopFilter, Verdict};
-use crate::hybrid::{HybridConfig, HybridJetty};
+use crate::hybrid::{EjAllocation, ExcludePart, HybridConfig, HybridJetty};
 use crate::include::{IncludeConfig, IncludeJetty};
 use crate::null::NullFilter;
 use crate::vector_exclude::{VectorExcludeConfig, VectorExcludeJetty};
@@ -113,6 +113,97 @@ impl FilterSpec {
         }
     }
 
+    /// Stable machine-readable identifier: lowercase, and free of the
+    /// spaces, commas and parentheses the paper-style [`FilterSpec::label`]
+    /// uses — safe as a CSV cell, a JSON key, a file name, or a CLI axis
+    /// value. Round-trips through [`FilterSpec::from_id`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use jetty_core::FilterSpec;
+    ///
+    /// let spec = FilterSpec::hybrid_scalar(10, 4, 7, 32, 4);
+    /// assert_eq!(spec.id(), "hj-ij10x4x7-ej32x4");
+    /// assert_eq!(FilterSpec::from_id(&spec.id()), Some(spec));
+    /// ```
+    pub fn id(&self) -> String {
+        match self {
+            FilterSpec::Null => "none".to_owned(),
+            FilterSpec::Exclude(c) => format!("ej-{}x{}", c.sets, c.ways),
+            FilterSpec::VectorExclude(c) => {
+                format!("vej-{}x{}-{}", c.sets, c.ways, c.vector_len)
+            }
+            FilterSpec::Include(c) => {
+                format!("ij-{}x{}x{}", c.index_bits, c.sub_arrays, c.skip)
+            }
+            FilterSpec::Hybrid(c) => {
+                let ij = &c.include;
+                let ej = match &c.exclude {
+                    ExcludePart::Scalar(x) => format!("ej{}x{}", x.sets, x.ways),
+                    ExcludePart::Vector(x) => format!("vej{}x{}-{}", x.sets, x.ways, x.vector_len),
+                };
+                let eager = match c.ej_allocation {
+                    EjAllocation::Backup => "",
+                    EjAllocation::Eager => "-eager",
+                };
+                format!("hj-ij{}x{}x{}-{}{}", ij.index_bits, ij.sub_arrays, ij.skip, ej, eager)
+            }
+        }
+    }
+
+    /// Parses a stable identifier produced by [`FilterSpec::id`]
+    /// (case-insensitive, surrounding whitespace ignored). Returns `None`
+    /// for unknown shapes *and* for invalid geometries (non-power-of-two
+    /// set counts, zero ways, out-of-range IJ widths), so CLI surfaces can
+    /// report errors instead of panicking in a config constructor.
+    pub fn from_id(id: &str) -> Option<Self> {
+        let id = id.trim().to_ascii_lowercase();
+        if id == "none" {
+            return Some(FilterSpec::Null);
+        }
+        if let Some(rest) = id.strip_prefix("hj-") {
+            let (rest, eager) = match rest.strip_suffix("-eager") {
+                Some(r) => (r, true),
+                None => (rest, false),
+            };
+            let rest = rest.strip_prefix("ij")?;
+            // The IJ dims contain no dashes, so the first `-ej` / `-vej`
+            // cleanly separates the two components.
+            let (ij_part, ej_part, vector) = if let Some(i) = rest.find("-vej") {
+                (&rest[..i], &rest[i + 4..], true)
+            } else if let Some(i) = rest.find("-ej") {
+                (&rest[..i], &rest[i + 3..], false)
+            } else {
+                return None;
+            };
+            let (e, n, s) = parse_ij_dims(ij_part)?;
+            let include = IncludeConfig::new(e, n, s);
+            let config = if vector {
+                let (sets, ways, v) = parse_vej_dims(ej_part)?;
+                HybridConfig::new(include, VectorExcludeConfig::new(sets, ways, v))
+            } else {
+                let (sets, ways) = parse_ej_dims(ej_part)?;
+                HybridConfig::new(include, ExcludeConfig::new(sets, ways))
+            };
+            let config = if eager { config.with_eager_allocation() } else { config };
+            return Some(FilterSpec::Hybrid(config));
+        }
+        if let Some(rest) = id.strip_prefix("vej-") {
+            let (sets, ways, v) = parse_vej_dims(rest)?;
+            return Some(Self::vector_exclude(sets, ways, v));
+        }
+        if let Some(rest) = id.strip_prefix("ej-") {
+            let (sets, ways) = parse_ej_dims(rest)?;
+            return Some(Self::exclude(sets, ways));
+        }
+        if let Some(rest) = id.strip_prefix("ij-") {
+            let (e, n, s) = parse_ij_dims(rest)?;
+            return Some(Self::include(e, n, s));
+        }
+        None
+    }
+
     /// Paper-style label for result rows.
     pub fn label(&self) -> String {
         match self {
@@ -184,6 +275,29 @@ impl FilterSpec {
         bank.push(Self::hybrid_vector(10, 4, 7, 32, 4, 8));
         bank
     }
+}
+
+/// Parses `SETSxWAYS`, validating what [`ExcludeConfig::new`] asserts.
+fn parse_ej_dims(s: &str) -> Option<(usize, usize)> {
+    let (sets, ways) = s.split_once('x')?;
+    let (sets, ways) = (sets.parse().ok()?, ways.parse().ok()?);
+    (usize::is_power_of_two(sets) && ways > 0).then_some((sets, ways))
+}
+
+/// Parses `SETSxWAYS-VLEN`, validating what [`VectorExcludeConfig::new`]
+/// asserts.
+fn parse_vej_dims(s: &str) -> Option<(usize, usize, usize)> {
+    let (dims, vlen) = s.split_once('-')?;
+    let (sets, ways) = parse_ej_dims(dims)?;
+    let vlen: usize = vlen.parse().ok()?;
+    (vlen.is_power_of_two() && vlen >= 2).then_some((sets, ways, vlen))
+}
+
+/// Parses `ExNxS`, validating what [`IncludeConfig::new`] asserts.
+fn parse_ij_dims(s: &str) -> Option<(u32, u32, u32)> {
+    let mut it = s.split('x');
+    let (e, n, s) = (it.next()?.parse().ok()?, it.next()?.parse().ok()?, it.next()?.parse().ok()?);
+    (it.next().is_none() && (1..=30).contains(&e) && n > 0 && s > 0).then_some((e, n, s))
 }
 
 impl fmt::Display for FilterSpec {
@@ -314,6 +428,62 @@ mod tests {
         fn assert_send<T: Send>(_: &T) {}
         for spec in FilterSpec::paper_bank() {
             assert_send(&spec.build(AddrSpace::default()));
+        }
+    }
+
+    #[test]
+    fn ids_are_machine_readable() {
+        assert_eq!(FilterSpec::Null.id(), "none");
+        assert_eq!(FilterSpec::exclude(32, 4).id(), "ej-32x4");
+        assert_eq!(FilterSpec::vector_exclude(16, 4, 8).id(), "vej-16x4-8");
+        assert_eq!(FilterSpec::include(7, 5, 6).id(), "ij-7x5x6");
+        assert_eq!(FilterSpec::hybrid_scalar(10, 4, 7, 32, 4).id(), "hj-ij10x4x7-ej32x4");
+        assert_eq!(FilterSpec::hybrid_vector(10, 4, 7, 32, 4, 8).id(), "hj-ij10x4x7-vej32x4-8");
+        assert_eq!(FilterSpec::hybrid_scalar_eager(9, 4, 7, 32, 4).id(), "hj-ij9x4x7-ej32x4-eager");
+        for spec in FilterSpec::paper_bank() {
+            let id = spec.id();
+            assert!(
+                id.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
+                "{id:?} must stay lowercase alphanumeric + dashes"
+            );
+        }
+    }
+
+    #[test]
+    fn ids_round_trip_through_from_id() {
+        let mut bank = FilterSpec::paper_bank();
+        bank.push(FilterSpec::Null);
+        bank.push(FilterSpec::hybrid_scalar_eager(9, 4, 7, 32, 4));
+        for spec in bank {
+            assert_eq!(FilterSpec::from_id(&spec.id()), Some(spec), "{}", spec.id());
+        }
+        // Case and whitespace are forgiven.
+        assert_eq!(FilterSpec::from_id(" EJ-32x4 "), Some(FilterSpec::exclude(32, 4)));
+        assert_eq!(FilterSpec::from_id("NONE"), Some(FilterSpec::Null));
+    }
+
+    #[test]
+    fn from_id_rejects_garbage_without_panicking() {
+        for bad in [
+            "",
+            "ej-",
+            "ej-32",
+            "ej-31x4",
+            "ej-32x0",
+            "ej-axb",
+            "vej-16x4",
+            "vej-16x4-3",
+            "ij-0x4x7",
+            "ij-31x4x7",
+            "ij-10x4",
+            "ij-10x4x7x2",
+            "hj-ej32x4",
+            "hj-ij10x4x7",
+            "hj-ij10x4x7-xx",
+            "moesi",
+            "ej_32x4",
+        ] {
+            assert_eq!(FilterSpec::from_id(bad), None, "{bad:?} must be rejected");
         }
     }
 

@@ -66,6 +66,31 @@ impl EnergyBreakdown {
     }
 }
 
+/// The protocol-comparison quantities of one `(run, filter)` pair as typed
+/// values: what `jetty-repro protocols` and the sweep engine tabulate per
+/// suite point. Fractions stay fractions and energies stay joules here —
+/// scaling to percent or microjoules is the *renderer's* job, so the same
+/// record can feed an aligned-text table, a JSON document, or a CSV row
+/// without re-deriving anything.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ProtocolEnergy {
+    /// Figure 6 (a)/(c)-style reduction over snoop-side energy, in `[0, 1]`.
+    pub snoop_reduction: f64,
+    /// Figure 6 (b)/(d)-style reduction over all L2 energy, in `[0, 1]`.
+    pub total_reduction: f64,
+    /// Memory write traffic of the run ([`SmpEnergyModel::memory_writeback_energy`])
+    /// in joules — the protocol-dependent term MOESI's `Owned` state avoids.
+    pub memory_writeback_j: f64,
+}
+
+impl ProtocolEnergy {
+    /// The memory-writeback traffic in microjoules (the unit the protocol
+    /// table prints).
+    pub fn memory_writeback_uj(&self) -> f64 {
+        self.memory_writeback_j * 1e6
+    }
+}
+
 /// Per-event energies for the whole SMP node stack.
 #[derive(Clone, Debug)]
 pub struct SmpEnergyModel {
@@ -214,6 +239,21 @@ impl SmpEnergyModel {
         }
     }
 
+    /// Bundles the protocol-comparison quantities of one `(run, filter)`
+    /// pair into a [`ProtocolEnergy`] record (typed values, no formatting).
+    pub fn protocol_energy(
+        &self,
+        run: &RunStats,
+        report: &FilterReport,
+        mode: AccessMode,
+    ) -> ProtocolEnergy {
+        ProtocolEnergy {
+            snoop_reduction: self.snoop_energy_reduction(run, report, mode),
+            total_reduction: self.total_energy_reduction(run, report, mode),
+            memory_writeback_j: self.memory_writeback_energy(run),
+        }
+    }
+
     /// Figure 6 (b)/(d): energy reduction over all L2 accesses.
     pub fn total_energy_reduction(
         &self,
@@ -349,6 +389,20 @@ mod tests {
         assert!((with_snoop_updates - 2.0 * drains_only).abs() < 1e-18);
         // One 32-byte transfer at 20 pJ/bit.
         assert!((drains_only / 10.0 - 32.0 * 8.0 * 20.0e-12).abs() < 1e-15);
+    }
+
+    #[test]
+    fn protocol_energy_bundles_the_same_values_the_scalar_api_reports() {
+        let (run, reports) = sample_run(&[FilterSpec::hybrid_scalar(10, 4, 7, 32, 4)]);
+        let model = SmpEnergyModel::paper_node();
+        let report = &reports[0];
+        for mode in [AccessMode::Serial, AccessMode::Parallel] {
+            let p = model.protocol_energy(&run, report, mode);
+            assert_eq!(p.snoop_reduction, model.snoop_energy_reduction(&run, report, mode));
+            assert_eq!(p.total_reduction, model.total_energy_reduction(&run, report, mode));
+            assert_eq!(p.memory_writeback_j, model.memory_writeback_energy(&run));
+            assert_eq!(p.memory_writeback_uj(), p.memory_writeback_j * 1e6);
+        }
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub mod kamble_ghose;
 pub mod tech;
 pub mod xeon;
 
-pub use accounting::{AccessMode, EnergyBreakdown, SmpEnergyModel};
+pub use accounting::{AccessMode, EnergyBreakdown, ProtocolEnergy, SmpEnergyModel};
 pub use analytic::{figure2_panel, AnalyticInputs, Figure2Curve, Figure2Panel};
 pub use cache_energy::{CacheEnergy, CacheGeometry, WbEnergy};
 pub use cacti_lite::{optimize_array, BankedArray};

@@ -18,7 +18,7 @@
 use jetty_core::FilterSpec;
 
 use crate::engine::Engine;
-use crate::report::{pct, Table};
+use crate::results::{Cell, TableData};
 use crate::runner::{average, AppRun, RunOptions};
 
 /// The IJ skip values swept by [`ij_skip_ablation`].
@@ -35,23 +35,25 @@ pub fn ij_skip_options(scale: f64, check: bool) -> RunOptions {
 /// Sweeps the Include-Jetty index skip from heavy overlap to disjoint
 /// slices (IJ-8x4xS, S in {2, 4, 6, 8}; S = 8 is disjoint) and reports
 /// average coverage across the suite.
-pub fn ij_skip_ablation(engine: &Engine, scale: f64, check: bool) -> Table {
+pub fn ij_skip_ablation(engine: &Engine, scale: f64, check: bool) -> TableData {
     let options = ij_skip_options(scale, check);
     let specs = options.specs.clone();
     let runs = engine.run_suite(&options);
 
-    let mut t =
-        Table::new("Ablation: IJ index overlap (IJ-8x4xS; S=8 disjoint, paper uses overlap)");
+    let mut t = TableData::new(
+        "ablation_ij_skip",
+        "Ablation: IJ index overlap (IJ-8x4xS; S=8 disjoint, paper uses overlap)",
+    );
     let mut headers = vec!["App".to_string()];
     headers.extend(specs.iter().map(FilterSpec::label));
     t.headers(headers);
     for r in runs.iter() {
-        let mut row = vec![r.profile.abbrev.to_string()];
-        row.extend(specs.iter().map(|s| pct(r.coverage(&s.label()))));
+        let mut row = vec![Cell::label(r.profile.abbrev)];
+        row.extend(specs.iter().map(|s| Cell::Ratio(r.coverage(&s.label()))));
         t.row(row);
     }
-    let mut avg = vec!["AVG".to_string()];
-    avg.extend(specs.iter().map(|s| pct(average(&runs, |r| r.coverage(&s.label())))));
+    let mut avg = vec![Cell::label("AVG")];
+    avg.extend(specs.iter().map(|s| Cell::Ratio(average(&runs, |r| r.coverage(&s.label())))));
     t.row(avg);
     t
 }
@@ -75,29 +77,30 @@ pub fn hj_policy_options(scale: f64, check: bool) -> RunOptions {
 
 /// Compares the paper's backup EJ-allocation policy against the eager
 /// variant on (IJ-9x4x7, EJ-32x4).
-pub fn hj_policy_ablation(engine: &Engine, scale: f64, check: bool) -> Table {
+pub fn hj_policy_ablation(engine: &Engine, scale: f64, check: bool) -> TableData {
     let options = hj_policy_options(scale, check);
     let backup = options.specs[0];
     let eager = options.specs[1];
     let runs = engine.run_suite(&options);
 
-    let mut t = Table::new("Ablation: HJ EJ-allocation policy (backup = paper)");
+    let mut t =
+        TableData::new("ablation_hj_policy", "Ablation: HJ EJ-allocation policy (backup = paper)");
     t.headers(["App", "backup cov", "eager cov", "backup EJ writes", "eager EJ writes"]);
     for r in runs.iter() {
         t.row([
-            r.profile.abbrev.to_string(),
-            pct(r.coverage(&backup.label())),
-            pct(r.coverage(&eager.label())),
-            format!("{}", ej_writes(r, &backup.label())),
-            format!("{}", ej_writes(r, &eager.label())),
+            Cell::label(r.profile.abbrev),
+            Cell::Ratio(r.coverage(&backup.label())),
+            Cell::Ratio(r.coverage(&eager.label())),
+            Cell::Count(ej_writes(r, &backup.label())),
+            Cell::Count(ej_writes(r, &eager.label())),
         ]);
     }
     t.row([
-        "AVG".to_string(),
-        pct(average(&runs, |r| r.coverage(&backup.label()))),
-        pct(average(&runs, |r| r.coverage(&eager.label()))),
-        String::new(),
-        String::new(),
+        Cell::label("AVG"),
+        Cell::Ratio(average(&runs, |r| r.coverage(&backup.label()))),
+        Cell::Ratio(average(&runs, |r| r.coverage(&eager.label()))),
+        Cell::Empty,
+        Cell::Empty,
     ]);
     t
 }

@@ -3,8 +3,8 @@
 //! Usage:
 //!
 //! ```text
-//! jetty-repro [COMMANDS...] [--scale X] [--cpus N] [--threads N] [--csv DIR] [--check]
-//!             [--timings]
+//! jetty-repro [COMMANDS...] [--scale X] [--cpus N] [--threads N] [--format FMT]
+//!             [--csv DIR] [--axis NAME=V1,V2] [--check] [--timings]
 //! ```
 //!
 //! One subcommand per paper exhibit; [`COMMANDS`] is the authoritative
@@ -13,8 +13,11 @@
 //! Every suite-consuming subcommand draws its runs from one shared
 //! [`Engine`]: the needed suites are collected up front and executed
 //! concurrently on `--threads` workers (default: available parallelism,
-//! or `JETTY_THREADS`), then each exhibit renders from the suite cache in
-//! paper order — so output is byte-identical to a sequential run.
+//! or `JETTY_THREADS`), then each exhibit populates typed
+//! [`TableData`] records from the suite cache in paper order. The whole
+//! [`ResultSet`] is rendered once at the end by the `--format` renderer —
+//! aligned text (the default; byte-identical to the historical output),
+//! JSON, or CSV.
 
 use std::env;
 use std::fs;
@@ -25,12 +28,15 @@ use std::time::Instant;
 
 use jetty_experiments::engine::Engine;
 use jetty_experiments::figures::{self, Fig6Panel};
-use jetty_experiments::report::Table;
+use jetty_experiments::results::render::Format;
+use jetty_experiments::results::{ResultSet, TableData};
 use jetty_experiments::runner::{AppRun, RunOptions};
+use jetty_experiments::sweep::{self, Axis, SweepGrid};
 use jetty_experiments::{ablation, protocols, tables};
 
 /// Every recognised subcommand: the paper's exhibits in paper order, then
-/// the extensions (`protocols` is *not* part of `all` — see [`usage`]).
+/// the extensions (`protocols` and `sweep` are *not* part of `all` — see
+/// [`usage`]).
 const COMMANDS: &[&str] = &[
     "all",
     "table1",
@@ -48,6 +54,7 @@ const COMMANDS: &[&str] = &[
     "calibrate",
     "ablation",
     "protocols",
+    "sweep",
 ];
 
 /// The `--help` text (stdout, exit 0 — distinct from the unknown-flag
@@ -55,10 +62,14 @@ const COMMANDS: &[&str] = &[
 fn usage() -> String {
     format!(
         "jetty-repro [COMMANDS...] [--scale X] [--cpus N] [--threads N] \
-         [--csv DIR] [--check] [--timings]\n\
+         [--format FMT] [--csv DIR] [--axis NAME=V1,V2] [--check] [--timings]\n\
          commands: {}\n\
          `all` regenerates every paper exhibit; `protocols` (the \
-         MOESI/MESI/MSI sweep) is opt-in and not part of `all`\n\
+         MOESI/MESI/MSI sweep) and `sweep` (the declarative scenario grid) \
+         are opt-in and not part of `all`\n\
+         --format selects the output renderer: text json csv (default: text)\n\
+         --axis configures the sweep grid (repeatable; axes: cpus protocol \
+         filter scale nsb), e.g. --axis cpus=4,8 --axis protocol=moesi,msi\n\
          --threads defaults to available parallelism (env override: JETTY_THREADS)\n\
          --timings reports per-suite wall-clock on stderr (stdout untouched)",
         COMMANDS.join(" ")
@@ -73,7 +84,11 @@ struct Cli {
     /// only when an engine is actually built (so an invalid `JETTY_THREADS`
     /// never warns when it is overridden or unused).
     threads: Option<usize>,
+    format: Format,
     csv_dir: Option<PathBuf>,
+    /// `--axis NAME=VALUES` flags, in order (validated against the sweep
+    /// grid once parsing is done — they require the `sweep` command).
+    axes: Vec<(Axis, String)>,
     check: bool,
     /// Report per-suite wall-clock attribution on stderr (stdout stays
     /// byte-identical, so the golden-output guarantee is unaffected).
@@ -93,7 +108,9 @@ fn parse_args() -> Result<Parsed, String> {
         scale: 1.0,
         cpus: 4,
         threads: None,
+        format: Format::Text,
         csv_dir: None,
+        axes: Vec::new(),
         check: false,
         timings: false,
     };
@@ -126,9 +143,23 @@ fn parse_args() -> Result<Parsed, String> {
                 }
                 cli.threads = Some(n);
             }
+            "--format" => {
+                let v = args.next().ok_or("--format needs a value")?;
+                cli.format = Format::parse(&v)
+                    .ok_or(format!("unknown format: {v} (formats: text json csv)"))?;
+            }
             "--csv" => {
                 let v = args.next().ok_or("--csv needs a directory")?;
                 cli.csv_dir = Some(PathBuf::from(v));
+            }
+            "--axis" => {
+                let v = args.next().ok_or("--axis needs NAME=VALUES")?;
+                let (name, values) =
+                    v.split_once('=').ok_or(format!("bad --axis {v:?} (want NAME=V1,V2)"))?;
+                let axis = Axis::parse(name).ok_or(format!(
+                    "unknown sweep axis: {name} (axes: cpus protocol filter scale nsb)"
+                ))?;
+                cli.axes.push((axis, values.to_string()));
             }
             "--check" => cli.check = true,
             "--timings" => cli.timings = true,
@@ -148,23 +179,15 @@ fn parse_args() -> Result<Parsed, String> {
     if cli.commands.is_empty() {
         cli.commands.push("all".to_string());
     }
+    if !cli.axes.is_empty() && !cli.commands.iter().any(|c| c == "sweep") {
+        return Err("--axis configures the sweep grid; add the sweep command".into());
+    }
     Ok(Parsed::Run(cli))
 }
 
 /// Commands that need a full 4-way suite run.
 const SUITE_COMMANDS: &[&str] =
     &["all", "table2", "table3", "fig4a", "fig4b", "fig5a", "fig5b", "fig6"];
-
-fn emit(cli: &Cli, name: &str, table: &Table) {
-    println!("{}", table.render());
-    if let Some(dir) = &cli.csv_dir {
-        if let Err(e) = fs::create_dir_all(dir)
-            .and_then(|()| fs::write(dir.join(format!("{name}.csv")), table.to_csv()))
-        {
-            eprintln!("warning: failed to write {name}.csv: {e}");
-        }
-    }
-}
 
 fn main() -> ExitCode {
     let cli = match parse_args() {
@@ -180,11 +203,22 @@ fn main() -> ExitCode {
     };
 
     let wants = |cmd: &str| cli.commands.iter().any(|c| c == cmd || c == "all");
-    // `protocols` extends the reproduction beyond the paper's exhibits, so
-    // it must be requested by name: folding it into `all` would change
-    // `jetty-repro all` output, which is kept byte-comparable across
-    // versions.
+    // `protocols` and `sweep` extend the reproduction beyond the paper's
+    // exhibits, so they must be requested by name: folding them into `all`
+    // would change `jetty-repro all` output, which is kept byte-comparable
+    // across versions.
     let wants_protocols = cli.commands.iter().any(|c| c == "protocols");
+    let wants_sweep = cli.commands.iter().any(|c| c == "sweep");
+
+    // The sweep grid: the default protocol × cpus comparison, reshaped by
+    // any `--axis` flags (validated here so errors precede simulation).
+    let mut grid = SweepGrid::default_grid(cli.scale);
+    for (axis, values) in &cli.axes {
+        if let Err(e) = grid.set_axis(*axis, values) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
 
     // One builder so scale/check (and any future all-suite option) stay in
     // sync across every cache key this process uses.
@@ -219,6 +253,9 @@ fn main() -> ExitCode {
     }
     if wants_protocols {
         prefetch.extend(protocols::protocols_prefetch(cli.scale, cli.check));
+    }
+    if wants_sweep {
+        prefetch.extend(grid.suites(cli.check));
     }
     // Size the pool only when suites will actually run, so commands that
     // never simulate (and explicit `--threads`) skip the env lookup.
@@ -269,69 +306,107 @@ fn main() -> ExitCode {
     let suite: Arc<Vec<AppRun>> =
         if needs_suite { engine.run_suite(&base_options) } else { Arc::new(Vec::new()) };
 
+    // Collect typed, render late: every exhibit pushes its TableData here
+    // and one renderer pass at the end produces the whole stdout (the text
+    // renderer reproduces the historical one-println!-per-table stream
+    // byte for byte).
+    let mut set = ResultSet::new();
+    let mut emit = |table: TableData| set.push(table);
+
     if wants("table1") {
-        emit(&cli, "table1", &tables::table1());
+        emit(tables::table1());
     }
     if wants("fig2") {
-        emit(&cli, "fig2_32B", &figures::fig2(32, 10));
-        emit(&cli, "fig2_64B", &figures::fig2(64, 10));
+        emit(figures::fig2(32, 10));
+        emit(figures::fig2(64, 10));
     }
     if wants("table2") {
-        emit(&cli, "table2", &tables::table2(&suite));
+        emit(tables::table2(&suite));
     }
     if wants("table3") {
-        emit(&cli, "table3", &tables::table3(&suite));
+        emit(tables::table3(&suite));
     }
     if wants("fig4a") {
-        emit(&cli, "fig4a", &figures::fig4a(&suite));
+        emit(figures::fig4a(&suite));
     }
     if wants("fig4b") {
-        emit(&cli, "fig4b", &figures::fig4b(&suite));
+        emit(figures::fig4b(&suite));
     }
     if wants("fig5a") {
-        emit(&cli, "fig5a", &figures::fig5a(&suite));
+        emit(figures::fig5a(&suite));
     }
     if wants("fig5b") {
-        emit(&cli, "fig5b", &figures::fig5b(&suite));
+        emit(figures::fig5b(&suite));
     }
     if wants("table4") {
-        emit(&cli, "table4", &tables::table4());
+        emit(tables::table4());
     }
     if wants("fig6") {
-        for (name, panel) in [
-            ("fig6a", Fig6Panel::SnoopSerial),
-            ("fig6b", Fig6Panel::AllSerial),
-            ("fig6c", Fig6Panel::SnoopParallel),
-            ("fig6d", Fig6Panel::AllParallel),
+        for panel in [
+            Fig6Panel::SnoopSerial,
+            Fig6Panel::AllSerial,
+            Fig6Panel::SnoopParallel,
+            Fig6Panel::AllParallel,
         ] {
-            emit(&cli, name, &figures::fig6(&suite, panel));
+            emit(figures::fig6(&suite, panel));
         }
     }
     if wants("calibrate") {
-        emit(&cli, "calibration", &tables::calibration(&suite));
+        emit(tables::calibration(&suite));
     }
     if wants("smp8") {
         let runs = engine.run_suite(&smp8_options);
-        emit(&cli, "smp8", &figures::smp8_summary(&runs));
+        emit(figures::smp8_summary(&runs));
     }
     if wants("nsb") {
         let runs = engine.run_suite(&nsb_options);
-        emit(&cli, "nsb", &figures::nsb_summary(&runs));
+        emit(figures::nsb_summary(&runs));
     }
     if wants("ablation") {
-        emit(&cli, "ablation_ij_skip", &ablation::ij_skip_ablation(&engine, cli.scale, cli.check));
-        emit(
-            &cli,
-            "ablation_hj_policy",
-            &ablation::hj_policy_ablation(&engine, cli.scale, cli.check),
-        );
+        emit(ablation::ij_skip_ablation(&engine, cli.scale, cli.check));
+        emit(ablation::hj_policy_ablation(&engine, cli.scale, cli.check));
     }
     if wants_protocols {
-        emit(&cli, "protocols", &protocols::protocols_table(&engine, cli.scale, cli.check));
+        emit(protocols::protocols_table(&engine, cli.scale, cli.check));
+    }
+    if wants_sweep {
+        let results = sweep::sweep_results(&engine, &grid, cli.check);
+        for table in results.tables {
+            emit(table);
+        }
+        // The grid's cache economics, engine-wide: with `sweep` alone the
+        // prefetch executes one simulation per suite and the render pass
+        // reads one cached suite per point, so the hit rate is
+        // points / (points + suites); sharing keys with other commands in
+        // the same invocation (e.g. `protocols sweep`) raises it.
+        let stats = engine.stats();
+        eprintln!(
+            "[sweep] grid {} -> {} points over {} suites; engine cache: {} hits / {} requests \
+             (hit rate {:.1}%)",
+            grid.describe(),
+            grid.points().len(),
+            grid.suites(cli.check).len(),
+            stats.cache_hits,
+            stats.cache_hits + stats.suites_executed,
+            100.0 * stats.hit_rate(),
+        );
     }
     // Suites executed outside the prefetch batch (normally none — the
     // prefetch covers every command — but kept exact regardless).
     report_timings(&engine);
+
+    // One renderer pass for the whole invocation.
+    print!("{}", cli.format.renderer().render_set(&set));
+    if let Some(dir) = &cli.csv_dir {
+        let csv = Format::Csv.renderer();
+        for table in &set.tables {
+            if let Err(e) = fs::create_dir_all(dir).and_then(|()| {
+                fs::write(dir.join(format!("{}.csv", table.id)), csv.render_table(table))
+            }) {
+                eprintln!("warning: failed to write {}.csv: {e}", table.id);
+            }
+        }
+    }
 
     ExitCode::SUCCESS
 }

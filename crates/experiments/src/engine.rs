@@ -27,9 +27,12 @@
 //! # Caching
 //!
 //! [`RunOptions`] is the cache key (hash/eq over `cpus`, `scale` bits,
-//! `check`, the full filter bank, and `non_subblocked`). Consumers ask for
-//! whole suites; [`Engine::run_suites`] coalesces duplicate requests,
-//! simulates only the missing ones, and hands out shared [`Arc`] results.
+//! `check`, the full filter bank, `non_subblocked`, and the coherence
+//! `protocol`). Consumers ask for whole suites; [`Engine::run_suites`]
+//! coalesces duplicate requests, simulates only the missing ones, and
+//! hands out shared [`Arc`] results — which is what lets the declarative
+//! sweep grid ([`crate::sweep`]) render every grid point from cache after
+//! one prefetch batch.
 //!
 //! [`TraceGen`]: jetty_workloads::TraceGen
 //! [`System`]: jetty_sim::System
@@ -103,6 +106,20 @@ pub struct EngineStats {
     pub cache_hits: u64,
     /// Individual `(profile, options)` simulation jobs completed.
     pub jobs_executed: u64,
+}
+
+impl EngineStats {
+    /// Cache hits as a fraction of all suite requests served so far, in
+    /// `[0, 1]` (0 when nothing has been requested yet). The number the
+    /// `jetty-repro sweep` stderr summary and the bench baseline report.
+    pub fn hit_rate(&self) -> f64 {
+        let requests = self.cache_hits + self.suites_executed;
+        if requests == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / requests as f64
+        }
+    }
 }
 
 /// One `(application, suite)` simulation job in a batch's flattened graph.
@@ -417,6 +434,14 @@ mod tests {
         assert_eq!(stats.cache_hits, 1);
         assert_eq!(stats.jobs_executed, 10);
         assert_eq!(engine.cache().len(), 1);
+        assert_eq!(stats.hit_rate(), 0.5, "one hit out of two requests");
+    }
+
+    #[test]
+    fn hit_rate_of_an_idle_engine_is_zero() {
+        assert_eq!(EngineStats::default().hit_rate(), 0.0);
+        let all_hits = EngineStats { suites_executed: 0, cache_hits: 3, jobs_executed: 0 };
+        assert_eq!(all_hits.hit_rate(), 1.0);
     }
 
     #[test]

@@ -1,26 +1,28 @@
-//! Regenerators for the paper's figures (as aligned text tables — series
-//! values rather than plots, suitable for diffing and for EXPERIMENTS.md).
+//! Regenerators for the paper's figures (as typed tables — series values
+//! rather than plots, suitable for diffing, JSON export, and
+//! EXPERIMENTS.md).
 
 use jetty_core::FilterSpec;
 use jetty_energy::{figure2_panel, AccessMode, SmpEnergyModel, TechParams};
 
-use crate::report::{pct, Table};
+use crate::results::{Cell, TableData};
 use crate::runner::{average, AppRun};
 
 /// Figure 2: the Appendix-A analytic model, one table per block size.
 /// Rows are local hit rates, columns remote hit rates 0%..90%.
-pub fn fig2(block_bytes: usize, local_steps: usize) -> Table {
+pub fn fig2(block_bytes: usize, local_steps: usize) -> TableData {
     let panel = figure2_panel(4, block_bytes, local_steps, &TechParams::default());
-    let mut t = Table::new(format!(
-        "Figure 2: snoop-miss tag energy as % of all L2 energy ({block_bytes}-byte lines)"
-    ));
+    let mut t = TableData::new(
+        format!("fig2_{block_bytes}B"),
+        format!("Figure 2: snoop-miss tag energy as % of all L2 energy ({block_bytes}-byte lines)"),
+    );
     let mut headers = vec!["local hit".to_string()];
-    headers.extend(panel.curves.iter().map(|c| format!("R={}", pct(c.remote_hit_rate))));
+    headers.extend(panel.curves.iter().map(|c| format!("R={:.1}%", 100.0 * c.remote_hit_rate)));
     t.headers(headers);
     for i in 0..=local_steps {
         let local = panel.curves[0].points[i].0;
-        let mut row = vec![format!("{:.2}", local)];
-        row.extend(panel.curves.iter().map(|c| pct(c.points[i].1)));
+        let mut row = vec![Cell::Fixed { value: local, dp: 2 }];
+        row.extend(panel.curves.iter().map(|c| Cell::Ratio(c.points[i].1)));
         t.row(row);
     }
     t
@@ -28,30 +30,30 @@ pub fn fig2(block_bytes: usize, local_steps: usize) -> Table {
 
 /// Renders a coverage figure: one row per application plus the average,
 /// one column per filter configuration.
-fn coverage_table(title: &str, runs: &[AppRun], specs: &[FilterSpec]) -> Table {
-    let mut t = Table::new(title);
+fn coverage_table(id: &str, title: &str, runs: &[AppRun], specs: &[FilterSpec]) -> TableData {
+    let mut t = TableData::new(id, title);
     let mut headers = vec!["App".to_string()];
     headers.extend(specs.iter().map(FilterSpec::label));
     t.headers(headers);
     for r in runs {
-        let mut row = vec![r.profile.abbrev.to_string()];
-        row.extend(specs.iter().map(|s| pct(r.coverage(&s.label()))));
+        let mut row = vec![Cell::label(r.profile.abbrev)];
+        row.extend(specs.iter().map(|s| Cell::Ratio(r.coverage(&s.label()))));
         t.row(row);
     }
-    let mut avg_row = vec!["AVG".to_string()];
-    avg_row.extend(specs.iter().map(|s| pct(average(runs, |r| r.coverage(&s.label())))));
+    let mut avg_row = vec![Cell::label("AVG")];
+    avg_row.extend(specs.iter().map(|s| Cell::Ratio(average(runs, |r| r.coverage(&s.label())))));
     t.row(avg_row);
     t
 }
 
 /// Figure 4(a): Exclude-Jetty snoop-miss coverage.
-pub fn fig4a(runs: &[AppRun]) -> Table {
-    coverage_table("Figure 4a: Exclude-Jetty coverage", runs, &FilterSpec::figure4a_set())
+pub fn fig4a(runs: &[AppRun]) -> TableData {
+    coverage_table("fig4a", "Figure 4a: Exclude-Jetty coverage", runs, &FilterSpec::figure4a_set())
 }
 
 /// Figure 4(b): Vector-Exclude-Jetty coverage (with the EJ baselines the
 /// paper plots alongside).
-pub fn fig4b(runs: &[AppRun]) -> Table {
+pub fn fig4b(runs: &[AppRun]) -> TableData {
     let specs = vec![
         FilterSpec::vector_exclude(32, 4, 8),
         FilterSpec::vector_exclude(32, 4, 4),
@@ -60,17 +62,17 @@ pub fn fig4b(runs: &[AppRun]) -> Table {
         FilterSpec::vector_exclude(16, 4, 4),
         FilterSpec::exclude(16, 4),
     ];
-    coverage_table("Figure 4b: Vector-Exclude-Jetty coverage", runs, &specs)
+    coverage_table("fig4b", "Figure 4b: Vector-Exclude-Jetty coverage", runs, &specs)
 }
 
 /// Figure 5(a): Include-Jetty coverage.
-pub fn fig5a(runs: &[AppRun]) -> Table {
-    coverage_table("Figure 5a: Include-Jetty coverage", runs, &FilterSpec::figure5a_set())
+pub fn fig5a(runs: &[AppRun]) -> TableData {
+    coverage_table("fig5a", "Figure 5a: Include-Jetty coverage", runs, &FilterSpec::figure5a_set())
 }
 
 /// Figure 5(b): Hybrid-Jetty coverage.
-pub fn fig5b(runs: &[AppRun]) -> Table {
-    coverage_table("Figure 5b: Hybrid-Jetty coverage", runs, &FilterSpec::figure5b_set())
+pub fn fig5b(runs: &[AppRun]) -> TableData {
+    coverage_table("fig5b", "Figure 5b: Hybrid-Jetty coverage", runs, &FilterSpec::figure5b_set())
 }
 
 /// Which panel of Figure 6 to regenerate.
@@ -96,6 +98,16 @@ impl Fig6Panel {
 
     fn over_snoops(self) -> bool {
         matches!(self, Fig6Panel::SnoopSerial | Fig6Panel::SnoopParallel)
+    }
+
+    /// Machine-readable table id (`fig6a`..`fig6d`).
+    pub fn id(self) -> &'static str {
+        match self {
+            Fig6Panel::SnoopSerial => "fig6a",
+            Fig6Panel::AllSerial => "fig6b",
+            Fig6Panel::SnoopParallel => "fig6c",
+            Fig6Panel::AllParallel => "fig6d",
+        }
     }
 
     fn title(self) -> &'static str {
@@ -126,11 +138,11 @@ impl Fig6Panel {
 }
 
 /// Regenerates one panel of Figure 6.
-pub fn fig6(runs: &[AppRun], panel: Fig6Panel) -> Table {
+pub fn fig6(runs: &[AppRun], panel: Fig6Panel) -> TableData {
     let model = SmpEnergyModel::paper_node();
     let specs = panel.specs();
     let mode = panel.mode();
-    let mut t = Table::new(panel.title());
+    let mut t = TableData::new(panel.id(), panel.title());
     let mut headers = vec!["App".to_string()];
     headers.extend(specs.iter().map(FilterSpec::label));
     t.headers(headers);
@@ -147,47 +159,55 @@ pub fn fig6(runs: &[AppRun], panel: Fig6Panel) -> Table {
     };
 
     for r in runs {
-        let mut row = vec![r.profile.abbrev.to_string()];
-        row.extend(specs.iter().map(|s| pct(reduction(r, s))));
+        let mut row = vec![Cell::label(r.profile.abbrev)];
+        row.extend(specs.iter().map(|s| Cell::Ratio(reduction(r, s))));
         t.row(row);
     }
-    let mut avg_row = vec!["AVG".to_string()];
-    avg_row.extend(specs.iter().map(|s| pct(average(runs, |r| reduction(r, s)))));
+    let mut avg_row = vec![Cell::label("AVG")];
+    avg_row.extend(specs.iter().map(|s| Cell::Ratio(average(runs, |r| reduction(r, s)))));
     t.row(avg_row);
     t
 }
 
 /// §4.3.4's 8-way SMP summary: snoop-miss share of all L2 accesses and the
 /// average coverage of the best hybrid.
-pub fn smp8_summary(runs: &[AppRun]) -> Table {
+pub fn smp8_summary(runs: &[AppRun]) -> TableData {
     let best = FilterSpec::hybrid_scalar(10, 4, 7, 32, 4).label();
-    let mut t = Table::new("8-way SMP summary (paper: 76.4% snoop-miss share, 79% coverage)");
+    let mut t =
+        TableData::new("smp8", "8-way SMP summary (paper: 76.4% snoop-miss share, 79% coverage)");
     t.headers(["metric", "measured"]);
     t.row([
-        "snoop-miss % of all L2 accesses (avg)".to_string(),
-        pct(average(runs, |r| r.run.snoop_miss_fraction_of_all())),
+        Cell::label("snoop-miss % of all L2 accesses (avg)"),
+        Cell::Ratio(average(runs, |r| r.run.snoop_miss_fraction_of_all())),
     ]);
-    t.row([format!("avg coverage of {best}"), pct(average(runs, |r| r.coverage(&best)))]);
+    t.row([
+        Cell::label(format!("avg coverage of {best}")),
+        Cell::Ratio(average(runs, |r| r.coverage(&best))),
+    ]);
     t
 }
 
 /// The non-subblocked summary the paper reports in passing (§4.2, §4.3):
 /// snoop-miss shares and best-hybrid coverage without subblocking.
-pub fn nsb_summary(runs: &[AppRun]) -> Table {
+pub fn nsb_summary(runs: &[AppRun]) -> TableData {
     let best = FilterSpec::hybrid_scalar(10, 4, 7, 32, 4).label();
-    let mut t = Table::new(
+    let mut t = TableData::new(
+        "nsb",
         "Non-subblocked L2 summary (paper: 68% snoop misses, 46% of all accesses, 68% coverage)",
     );
     t.headers(["metric", "measured"]);
     t.row([
-        "snoop-miss % of snoop accesses (avg)".to_string(),
-        pct(average(runs, |r| r.run.snoop_miss_fraction_of_snoops())),
+        Cell::label("snoop-miss % of snoop accesses (avg)"),
+        Cell::Ratio(average(runs, |r| r.run.snoop_miss_fraction_of_snoops())),
     ]);
     t.row([
-        "snoop-miss % of all L2 accesses (avg)".to_string(),
-        pct(average(runs, |r| r.run.snoop_miss_fraction_of_all())),
+        Cell::label("snoop-miss % of all L2 accesses (avg)"),
+        Cell::Ratio(average(runs, |r| r.run.snoop_miss_fraction_of_all())),
     ]);
-    t.row([format!("avg coverage of {best}"), pct(average(runs, |r| r.coverage(&best)))]);
+    t.row([
+        Cell::label(format!("avg coverage of {best}")),
+        Cell::Ratio(average(runs, |r| r.coverage(&best))),
+    ]);
     t
 }
 
@@ -206,6 +226,7 @@ mod tests {
     fn fig2_is_a_grid() {
         let t = fig2(32, 10);
         assert_eq!(t.len(), 11);
+        assert_eq!(t.id, "fig2_32B");
         assert!(t.render().contains("R=90.0%"));
     }
 
@@ -229,6 +250,7 @@ mod tests {
         ] {
             let t = fig6(&rs, panel);
             assert_eq!(t.len(), 3);
+            assert_eq!(t.id, panel.id());
         }
     }
 

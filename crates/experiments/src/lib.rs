@@ -19,20 +19,32 @@
 //! jetty-repro calibrate      # measured-vs-paper deltas
 //! jetty-repro ablation       # IJ index-overlap + HJ allocation-policy studies
 //! jetty-repro protocols      # MOESI/MESI/MSI coverage + energy sweep
+//! jetty-repro sweep          # declarative multi-axis scenario grid
 //! ```
 //!
-//! (`protocols` is an extension beyond the paper's exhibits and is *not*
-//! part of `all`, keeping that output byte-comparable across versions.)
+//! (`protocols` and `sweep` are extensions beyond the paper's exhibits and
+//! are *not* part of `all`, keeping that output byte-comparable across
+//! versions.)
 //!
 //! Pass `--scale 0.1` for a 10x shorter run, `--cpus 8` for the 8-way
-//! configuration, `--csv DIR` to also dump CSV files, and `--threads N`
-//! to size the parallel experiment engine (default: available
-//! parallelism, or the `JETTY_THREADS` environment variable).
+//! configuration, `--threads N` to size the parallel experiment engine
+//! (default: available parallelism, or the `JETTY_THREADS` environment
+//! variable), and `--format {text,json,csv}` to pick an output renderer
+//! (`--csv DIR` still dumps per-table CSV files).
 //!
-//! Suites are executed by the [`engine`]: a scoped-thread worker pool
-//! over `(profile, options)` simulation jobs with a cache keyed by
-//! [`RunOptions`], so independent suites run concurrently and no
-//! identical suite is simulated twice.
+//! The crate is layered as *collect typed, render late*:
+//!
+//! * builders ([`tables`], [`figures`], [`protocols`], [`ablation`],
+//!   [`sweep`]) populate [`results::TableData`] with typed
+//!   [`results::Cell`]s — no formatting happens here;
+//! * the [`results`] module renders a finished [`results::ResultSet`]
+//!   through a pluggable [`results::render::Renderer`] (aligned text —
+//!   byte-identical to the historical output — JSON, or CSV);
+//! * suites are executed by the [`engine`]: a scoped-thread worker pool
+//!   over `(profile, options)` simulation jobs with a cache keyed by
+//!   [`RunOptions`], so independent suites run concurrently and no
+//!   identical suite is simulated twice. The [`sweep`] module expands a
+//!   declarative [`sweep::SweepGrid`] into those cache keys.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,10 +53,13 @@ pub mod ablation;
 pub mod engine;
 pub mod figures;
 pub mod protocols;
-pub mod report;
+pub mod results;
 pub mod runner;
+pub mod sweep;
 pub mod tables;
 
 pub use engine::{Engine, EngineStats, SuiteCache};
-pub use report::Table;
+pub use results::render::{Format, Renderer};
+pub use results::{Cell, ResultSet, TableData};
 pub use runner::{average, run_app, run_suite, AppRun, RunOptions};
+pub use sweep::{Axis, SweepGrid};

@@ -22,11 +22,11 @@
 //! stays byte-comparable across versions); request it explicitly.
 
 use jetty_core::FilterSpec;
-use jetty_energy::{AccessMode, SmpEnergyModel};
+use jetty_energy::{AccessMode, ProtocolEnergy, SmpEnergyModel};
 use jetty_sim::ProtocolKind;
 
 use crate::engine::Engine;
-use crate::report::{pct, Table};
+use crate::results::{Cell, TableData};
 use crate::runner::{average, AppRun, RunOptions};
 
 /// The filter every protocol suite carries: the paper's best hybrid.
@@ -53,7 +53,7 @@ pub fn protocols_prefetch(scale: f64, check: bool) -> Vec<RunOptions> {
 
 /// Renders the per-application coverage + energy table across MOESI, MESI
 /// and MSI.
-pub fn protocols_table(engine: &Engine, scale: f64, check: bool) -> Table {
+pub fn protocols_table(engine: &Engine, scale: f64, check: bool) -> TableData {
     let label = swept_spec().label();
     let model = SmpEnergyModel::paper_node();
     let suites: Vec<_> = ProtocolKind::ALL
@@ -61,10 +61,13 @@ pub fn protocols_table(engine: &Engine, scale: f64, check: bool) -> Table {
         .map(|&p| (p, engine.run_suite(&protocol_options(scale, check, p))))
         .collect();
 
-    let mut t = Table::new(format!(
-        "Protocol sweep: {label} coverage and energy under MOESI/MESI/MSI \
-         (memWB = memory write traffic, uJ)"
-    ));
+    let mut t = TableData::new(
+        "protocols",
+        format!(
+            "Protocol sweep: {label} coverage and energy under MOESI/MESI/MSI \
+             (memWB = memory write traffic, uJ)"
+        ),
+    );
     let mut headers = vec!["App".to_string()];
     for (protocol, _) in &suites {
         headers.push(format!("{protocol} cov"));
@@ -74,30 +77,32 @@ pub fn protocols_table(engine: &Engine, scale: f64, check: bool) -> Table {
     }
     t.headers(headers);
 
-    let reduction = |r: &AppRun| {
+    // One typed record per run: the renderer decides how the fractions and
+    // joules turn into percent and microjoules.
+    let energy = |r: &AppRun| -> ProtocolEnergy {
         let report = r.report(&label).expect("swept spec missing from bank");
-        model.snoop_energy_reduction(&r.run, report, AccessMode::Serial)
+        model.protocol_energy(&r.run, report, AccessMode::Serial)
     };
-    let mem_uj = |r: &AppRun| model.memory_writeback_energy(&r.run) * 1e6;
 
     let apps = suites[0].1.len();
     for i in 0..apps {
-        let mut row = vec![suites[0].1[i].profile.abbrev.to_string()];
+        let mut row = vec![Cell::label(suites[0].1[i].profile.abbrev)];
         for (_, runs) in &suites {
             let r = &runs[i];
-            row.push(pct(r.coverage(&label)));
-            row.push(pct(r.run.snoop_miss_fraction_of_snoops()));
-            row.push(pct(reduction(r)));
-            row.push(format!("{:.1}", mem_uj(r)));
+            let e = energy(r);
+            row.push(Cell::Ratio(r.coverage(&label)));
+            row.push(Cell::Ratio(r.run.snoop_miss_fraction_of_snoops()));
+            row.push(Cell::Ratio(e.snoop_reduction));
+            row.push(Cell::EnergyUj(e.memory_writeback_uj()));
         }
         t.row(row);
     }
-    let mut avg = vec!["AVG".to_string()];
+    let mut avg = vec![Cell::label("AVG")];
     for (_, runs) in &suites {
-        avg.push(pct(average(runs, |r| r.coverage(&label))));
-        avg.push(pct(average(runs, |r| r.run.snoop_miss_fraction_of_snoops())));
-        avg.push(pct(average(runs, reduction)));
-        avg.push(format!("{:.1}", average(runs, mem_uj)));
+        avg.push(Cell::Ratio(average(runs, |r| r.coverage(&label))));
+        avg.push(Cell::Ratio(average(runs, |r| r.run.snoop_miss_fraction_of_snoops())));
+        avg.push(Cell::Ratio(average(runs, |r| energy(r).snoop_reduction)));
+        avg.push(Cell::EnergyUj(average(runs, |r| energy(r).memory_writeback_uj())));
     }
     t.row(avg);
     t

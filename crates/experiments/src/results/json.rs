@@ -1,0 +1,403 @@
+//! A minimal, dependency-free JSON value model: a writer the
+//! [`JsonRenderer`](super::render::JsonRenderer) shares and a recursive-
+//! descent parser the determinism tests (and the CI JSON-validity check)
+//! use to read renderer output back. The container has no registry access,
+//! so serde is not an option — this implements exactly the subset the
+//! results pipeline needs: objects (with **insertion-ordered** keys, so
+//! output key order is stable by construction), arrays, strings with full
+//! escape handling, integer and float numbers, booleans and null.
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number written without fraction or exponent, kept exact.
+    Int(i64),
+    /// Any other number.
+    Num(f64),
+    /// A string (escapes resolved).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys keep document order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up a key in an object (first match, document order).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `f64` (integers coerce — `16.0` is written
+    /// as `16` by the shortest-round-trip float writer).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            Json::Int(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `u64`, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Parses a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    pub fn parse(input: &str) -> Result<Json, String> {
+        let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(value)
+    }
+}
+
+/// Formats an `f64` for JSON output: Rust's shortest-round-trip `Display`
+/// (guaranteed to parse back to the identical bits), with non-finite
+/// values — which no result should ever contain — degraded to `null` so
+/// the document stays valid JSON either way.
+pub fn fmt_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Quotes and escapes a string for JSON output: `"` and `\` are
+/// backslash-escaped, the common control characters use their short forms,
+/// and any other control character becomes `\u00XX`.
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Byte-cursor recursive-descent parser.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", char::from(b), self.pos))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') if self.eat_literal("true") => Ok(Json::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Json::Bool(false)),
+            Some(b'n') if self.eat_literal("null") => Ok(Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(format!("unexpected {:?} at byte {}", char::from(c), self.pos)),
+            None => Err("unexpected end of input".to_owned()),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(entries));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast-forward over the unescaped run.
+            while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\' && c >= 0x20) {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| "invalid UTF-8 in string".to_owned())?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    out.push(self.escape()?);
+                }
+                Some(_) => return Err(format!("raw control character at byte {}", self.pos)),
+                None => return Err("unterminated string".to_owned()),
+            }
+        }
+    }
+
+    fn escape(&mut self) -> Result<char, String> {
+        let c = self.peek().ok_or("unterminated escape")?;
+        self.pos += 1;
+        Ok(match c {
+            b'"' => '"',
+            b'\\' => '\\',
+            b'/' => '/',
+            b'b' => '\u{8}',
+            b'f' => '\u{c}',
+            b'n' => '\n',
+            b'r' => '\r',
+            b't' => '\t',
+            b'u' => {
+                let u = self.hex4()?;
+                if (0xD800..0xDC00).contains(&u) {
+                    // High surrogate: a low surrogate escape must follow.
+                    if !self.eat_literal("\\u") {
+                        return Err("lone high surrogate".to_owned());
+                    }
+                    let lo = self.hex4()?;
+                    if !(0xDC00..0xE000).contains(&lo) {
+                        return Err("invalid low surrogate".to_owned());
+                    }
+                    let combined = 0x10000 + ((u - 0xD800) << 10) + (lo - 0xDC00);
+                    char::from_u32(combined).ok_or("invalid surrogate pair")?
+                } else {
+                    char::from_u32(u).ok_or("lone low surrogate")?
+                }
+            }
+            other => return Err(format!("bad escape \\{}", char::from(other))),
+        })
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos.checked_add(4).filter(|&e| e <= self.bytes.len());
+        let end = end.ok_or("truncated \\u escape")?;
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| "invalid \\u escape".to_owned())?;
+        let value = u32::from_str_radix(hex, 16).map_err(|_| format!("bad \\u escape {hex:?}"))?;
+        self.pos = end;
+        Ok(value)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    integral = false;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let token = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "invalid number".to_owned())?;
+        if integral {
+            if let Ok(n) = token.parse::<i64>() {
+                return Ok(Json::Int(n));
+            }
+        }
+        token.parse::<f64>().map(Json::Num).map_err(|_| format!("bad number {token:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(Json::parse("null"), Ok(Json::Null));
+        assert_eq!(Json::parse(" true "), Ok(Json::Bool(true)));
+        assert_eq!(Json::parse("false"), Ok(Json::Bool(false)));
+        assert_eq!(Json::parse("42"), Ok(Json::Int(42)));
+        assert_eq!(Json::parse("-7"), Ok(Json::Int(-7)));
+        assert_eq!(Json::parse("0.5"), Ok(Json::Num(0.5)));
+        assert_eq!(Json::parse("1e3"), Ok(Json::Num(1000.0)));
+        assert_eq!(Json::parse(r#""hi""#), Ok(Json::Str("hi".into())));
+    }
+
+    #[test]
+    fn parses_structures_preserving_key_order() {
+        let doc = r#"{"z": [1, 2.5, "three"], "a": {"nested": null}}"#;
+        let v = Json::parse(doc).unwrap();
+        let Json::Obj(entries) = &v else { panic!("not an object") };
+        assert_eq!(entries[0].0, "z");
+        assert_eq!(entries[1].0, "a");
+        let arr = v.get("z").unwrap().as_array().unwrap();
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[1].as_f64(), Some(2.5));
+        assert_eq!(arr[2].as_str(), Some("three"));
+        assert_eq!(v.get("a").unwrap().get("nested"), Some(&Json::Null));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        for s in ["", "plain", "with \"quotes\"", "back\\slash", "tab\there\nnewline", "\u{1}"] {
+            let quoted = quote(s);
+            assert_eq!(Json::parse(&quoted), Ok(Json::Str(s.to_owned())), "{quoted}");
+        }
+        // Unicode escapes, including a surrogate pair.
+        assert_eq!(Json::parse(r#""Aé""#), Ok(Json::Str("Aé".into())));
+        assert_eq!(Json::parse(r#""😀""#), Ok(Json::Str("😀".into())));
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for x in [0.0, 0.1, 1.0 / 3.0, 47.1e6, -2.5e-7, f64::MAX, f64::MIN_POSITIVE] {
+            let written = fmt_f64(x);
+            let back = Json::parse(&written).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{written}");
+        }
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            r#"{"a"}"#,
+            r#"{"a":}"#,
+            "[1 2]",
+            "tru",
+            "1.2.3",
+            "\"unterminated",
+            r#""\q""#,
+            r#""\ud800""#,
+            "{} extra",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} must fail");
+        }
+    }
+
+    #[test]
+    fn accessor_type_mismatches_are_none() {
+        let v = Json::parse(r#"{"s":"x","n":-1}"#).unwrap();
+        assert_eq!(v.get("s").unwrap().as_f64(), None);
+        assert_eq!(v.get("n").unwrap().as_u64(), None, "negative is not u64");
+        assert_eq!(v.get("n").unwrap().as_f64(), Some(-1.0));
+        assert_eq!(v.as_array(), None);
+        assert_eq!(v.get("s").unwrap().get("x"), None);
+    }
+}

@@ -1,0 +1,391 @@
+//! The typed results model: collect values, render late.
+//!
+//! Historically every table builder formatted its numbers into `String`
+//! cells at construction time, which welded the reproduction to one output
+//! format and made anything downstream of a table — machine-readable
+//! artifacts, regression diffing, sweep comparisons — impossible without
+//! re-parsing text. This module inverts that: builders populate
+//! [`TableData`] with typed [`Cell`]s (counts, ratios, energies, labels),
+//! and a [`render::Renderer`] turns a finished [`ResultSet`] into
+//! aligned text (byte-identical to the historical output, pinned by the
+//! golden guard), JSON, or CSV — selected at the `jetty-repro` CLI with
+//! `--format`.
+//!
+//! Three invariants the renderers rely on:
+//!
+//! * **Values are stored unscaled.** A [`Cell::Ratio`] holds the fraction,
+//!   not the percentage; [`Cell::Millions`] holds the raw count. Scaling
+//!   happens at render time, exactly where the historical formatting
+//!   helpers did it, so the text renderer reproduces the old bytes.
+//! * **Rows are rectangular.** [`TableData::row`] asserts width against the
+//!   header like the historical `Table` did — ragged tables are harness
+//!   bugs.
+//! * **Cells are self-describing.** [`Cell::write_json`] and
+//!   [`Cell::from_json`] round-trip every variant, so a JSON document can
+//!   be parsed back into cells and re-rendered — the renderer-determinism
+//!   tests do exactly that.
+
+pub mod json;
+pub mod render;
+
+use std::fmt;
+
+use self::json::Json;
+use self::render::{CsvRenderer, Renderer, TextRenderer};
+
+/// One typed value in a result table.
+///
+/// Each variant knows its historical text formatting (via
+/// [`Cell::text`]) and its JSON encoding (via [`Cell::write_json`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Cell {
+    /// No value (e.g. the blank EJ-write cells of an ablation AVG row).
+    Empty,
+    /// A row/column key: an application abbreviation, a configuration
+    /// label, a metric name.
+    Label(String),
+    /// Structural text that is not a scalar quantity (e.g. the `4 x 32x32`
+    /// p-bit organisation of Table 4).
+    Text(String),
+    /// A raw event count, rendered as-is.
+    Count(u64),
+    /// A count rendered in millions with one decimal (`47.1M`).
+    Millions(u64),
+    /// A value already quoted in millions (the paper's Table 2 snoop
+    /// column), rendered `{value}M`.
+    MillionsValue(f64),
+    /// A byte count rendered in megabytes with one decimal (`57.4MB`).
+    MBytes(u64),
+    /// A fraction in `[0, 1]`, rendered as a percentage with one decimal
+    /// (`47.1%`).
+    Ratio(f64),
+    /// A measured fraction with the paper's value alongside, rendered
+    /// `47.1% (50.0%)`.
+    RatioPair {
+        /// The measured fraction.
+        measured: f64,
+        /// The paper's quoted fraction.
+        paper: f64,
+    },
+    /// A fraction delta rendered in signed percentage points (`+1.2`).
+    DeltaPoints(f64),
+    /// A plain float rendered with Rust's shortest `Display` form (the
+    /// sweep's scale axis: `0.02` stays `0.02`, `1` stays `1`).
+    Float(f64),
+    /// A plain float rendered with a fixed number of decimals.
+    Fixed {
+        /// The value.
+        value: f64,
+        /// Decimal places in the text rendering.
+        dp: u8,
+    },
+    /// An energy in microjoules, rendered with one decimal.
+    EnergyUj(f64),
+}
+
+impl Cell {
+    /// Convenience constructor: a [`Cell::Label`] from anything stringy.
+    pub fn label(s: impl Into<String>) -> Self {
+        Cell::Label(s.into())
+    }
+
+    /// Convenience constructor: a [`Cell::Text`] from anything stringy.
+    pub fn text_cell(s: impl Into<String>) -> Self {
+        Cell::Text(s.into())
+    }
+
+    /// The historical text rendering of this cell — byte-identical to what
+    /// the pre-typed builders formatted at construction time.
+    pub fn text(&self) -> String {
+        match self {
+            Cell::Empty => String::new(),
+            Cell::Label(s) | Cell::Text(s) => s.clone(),
+            Cell::Count(n) => n.to_string(),
+            Cell::Millions(n) => format!("{:.1}M", *n as f64 / 1.0e6),
+            Cell::MillionsValue(x) => format!("{x}M"),
+            Cell::MBytes(n) => format!("{:.1}MB", *n as f64 / (1024.0 * 1024.0)),
+            Cell::Ratio(x) => format!("{:.1}%", 100.0 * x),
+            Cell::RatioPair { measured, paper } => {
+                format!("{:.1}% ({:.1}%)", 100.0 * measured, 100.0 * paper)
+            }
+            Cell::DeltaPoints(d) => format!("{:+.1}", 100.0 * d),
+            Cell::Float(x) => format!("{x}"),
+            Cell::Fixed { value, dp } => format!("{value:.*}", usize::from(*dp)),
+            Cell::EnergyUj(uj) => format!("{uj:.1}"),
+        }
+    }
+
+    /// Appends this cell's JSON object (`{"kind": ..., ...}`) to `out`.
+    /// The encoding is the exact inverse of [`Cell::from_json`].
+    pub fn write_json(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let num = json::fmt_f64;
+        match self {
+            Cell::Empty => out.push_str(r#"{"kind":"empty"}"#),
+            Cell::Label(s) => {
+                let _ = write!(out, r#"{{"kind":"label","value":{}}}"#, json::quote(s));
+            }
+            Cell::Text(s) => {
+                let _ = write!(out, r#"{{"kind":"text","value":{}}}"#, json::quote(s));
+            }
+            Cell::Count(n) => {
+                let _ = write!(out, r#"{{"kind":"count","value":{n}}}"#);
+            }
+            Cell::Millions(n) => {
+                let _ = write!(out, r#"{{"kind":"millions","value":{n}}}"#);
+            }
+            Cell::MillionsValue(x) => {
+                let _ = write!(out, r#"{{"kind":"millions_value","value":{}}}"#, num(*x));
+            }
+            Cell::MBytes(n) => {
+                let _ = write!(out, r#"{{"kind":"mbytes","value":{n}}}"#);
+            }
+            Cell::Ratio(x) => {
+                let _ = write!(out, r#"{{"kind":"ratio","value":{}}}"#, num(*x));
+            }
+            Cell::RatioPair { measured, paper } => {
+                let _ = write!(
+                    out,
+                    r#"{{"kind":"ratio_pair","measured":{},"paper":{}}}"#,
+                    num(*measured),
+                    num(*paper)
+                );
+            }
+            Cell::DeltaPoints(d) => {
+                let _ = write!(out, r#"{{"kind":"delta_points","value":{}}}"#, num(*d));
+            }
+            Cell::Float(x) => {
+                let _ = write!(out, r#"{{"kind":"float","value":{}}}"#, num(*x));
+            }
+            Cell::Fixed { value, dp } => {
+                let _ = write!(out, r#"{{"kind":"fixed","value":{},"dp":{dp}}}"#, num(*value));
+            }
+            Cell::EnergyUj(uj) => {
+                let _ = write!(out, r#"{{"kind":"energy_uj","value":{}}}"#, num(*uj));
+            }
+        }
+    }
+
+    /// Rebuilds a cell from its JSON encoding. Returns `None` when the
+    /// object is not a cell this version understands.
+    pub fn from_json(value: &Json) -> Option<Cell> {
+        let kind = value.get("kind")?.as_str()?;
+        let f = |key: &str| value.get(key).and_then(Json::as_f64);
+        let n = |key: &str| value.get(key).and_then(Json::as_u64);
+        Some(match kind {
+            "empty" => Cell::Empty,
+            "label" => Cell::Label(value.get("value")?.as_str()?.to_owned()),
+            "text" => Cell::Text(value.get("value")?.as_str()?.to_owned()),
+            "count" => Cell::Count(n("value")?),
+            "millions" => Cell::Millions(n("value")?),
+            "millions_value" => Cell::MillionsValue(f("value")?),
+            "mbytes" => Cell::MBytes(n("value")?),
+            "ratio" => Cell::Ratio(f("value")?),
+            "ratio_pair" => Cell::RatioPair { measured: f("measured")?, paper: f("paper")? },
+            "delta_points" => Cell::DeltaPoints(f("value")?),
+            "float" => Cell::Float(f("value")?),
+            "fixed" => Cell::Fixed { value: f("value")?, dp: u8::try_from(n("dp")?).ok()? },
+            "energy_uj" => Cell::EnergyUj(f("value")?),
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text())
+    }
+}
+
+/// One table of typed cells: a machine-readable `id`, a human title, the
+/// column headers, and rectangular rows.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TableData {
+    /// Stable machine-readable key (`table2`, `fig6a`, `sweep`): the JSON
+    /// table id and the `--csv DIR` file stem.
+    pub id: String,
+    /// The human title line (`== title ==` in the text rendering).
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows; every row has `columns.len()` cells once headers are set.
+    pub rows: Vec<Vec<Cell>>,
+}
+
+impl TableData {
+    /// Creates an empty table with an id and a title line.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        Self { id: id.into(), title: title.into(), columns: Vec::new(), rows: Vec::new() }
+    }
+
+    /// Sets the header cells.
+    pub fn headers<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.columns = cells.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width (when headers
+    /// were set) — mismatched tables are bugs in the harness.
+    pub fn row<I>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = Cell>,
+    {
+        let row: Vec<Cell> = cells.into_iter().collect();
+        if !self.columns.is_empty() {
+            assert_eq!(
+                row.len(),
+                self.columns.len(),
+                "row width {} != header width {} in table {:?}",
+                row.len(),
+                self.columns.len(),
+                self.title
+            );
+        }
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with the aligned-text renderer (the historical
+    /// `Table::render`, byte-identical output).
+    pub fn render(&self) -> String {
+        TextRenderer.render_table(self)
+    }
+
+    /// Renders with the CSV renderer (title omitted, RFC-4180 escaping).
+    pub fn to_csv(&self) -> String {
+        CsvRenderer.render_table(self)
+    }
+}
+
+/// An ordered collection of finished tables: what one `jetty-repro`
+/// invocation materializes and hands to a renderer.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ResultSet {
+    /// The tables, in output order.
+    pub tables: Vec<TableData>,
+}
+
+impl ResultSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a finished table.
+    pub fn push(&mut self, table: TableData) {
+        self.tables.push(table);
+    }
+
+    /// `true` when no tables were collected.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Number of tables collected.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_text_matches_historical_formatting() {
+        assert_eq!(Cell::Empty.text(), "");
+        assert_eq!(Cell::label("ba").text(), "ba");
+        assert_eq!(Cell::text_cell("4 x 32x32").text(), "4 x 32x32");
+        assert_eq!(Cell::Count(1234).text(), "1234");
+        assert_eq!(Cell::Millions(47_100_000).text(), "47.1M");
+        assert_eq!(Cell::MillionsValue(0.1).text(), "0.1M");
+        assert_eq!(Cell::MBytes(57 * 1024 * 1024 + 400 * 1024).text(), "57.4MB");
+        assert_eq!(Cell::Ratio(0.471).text(), "47.1%");
+        assert_eq!(Cell::RatioPair { measured: 0.471, paper: 0.5 }.text(), "47.1% (50.0%)");
+        assert_eq!(Cell::DeltaPoints(0.012).text(), "+1.2");
+        assert_eq!(Cell::DeltaPoints(-0.029).text(), "-2.9");
+        assert_eq!(Cell::Float(0.02).text(), "0.02");
+        assert_eq!(Cell::Float(1.0).text(), "1");
+        assert_eq!(Cell::Fixed { value: 16.0, dp: 1 }.text(), "16.0");
+        assert_eq!(Cell::Fixed { value: 0.5, dp: 2 }.text(), "0.50");
+        assert_eq!(Cell::EnergyUj(12.34).text(), "12.3");
+        assert_eq!(Cell::Ratio(0.471).to_string(), "47.1%");
+    }
+
+    #[test]
+    fn every_cell_variant_round_trips_through_json() {
+        let cells = vec![
+            Cell::Empty,
+            Cell::label("un, \"quoted\""),
+            Cell::text_cell("4 x 32x32"),
+            Cell::Count(u64::from(u32::MAX) + 7),
+            Cell::Millions(47_100_000),
+            Cell::MillionsValue(0.1),
+            Cell::MBytes(1024),
+            Cell::Ratio(0.4711234567),
+            Cell::RatioPair { measured: 0.1, paper: 0.25 },
+            Cell::DeltaPoints(-0.029),
+            Cell::Float(0.02),
+            Cell::Fixed { value: 16.25, dp: 2 },
+            Cell::EnergyUj(12.34),
+        ];
+        for cell in cells {
+            let mut buf = String::new();
+            cell.write_json(&mut buf);
+            let parsed = Json::parse(&buf).expect("cell JSON must parse");
+            assert_eq!(Cell::from_json(&parsed), Some(cell.clone()), "{buf}");
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_unknown_kinds_and_shapes() {
+        for bad in [
+            r#"{"kind":"nope"}"#,
+            r#"{"kind":"count"}"#,
+            r#"{"kind":"count","value":"x"}"#,
+            r#"{"kind":"fixed","value":1.0}"#,
+            r#"{"value":1.0}"#,
+            r#"{"kind":"ratio_pair","measured":0.1}"#,
+        ] {
+            let parsed = Json::parse(bad).expect("valid JSON");
+            assert_eq!(Cell::from_json(&parsed), None, "{bad}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        let mut t = TableData::new("demo", "demo");
+        t.headers(["a", "b"]);
+        t.row([Cell::label("only-one")]);
+    }
+
+    #[test]
+    fn result_set_collects_in_order() {
+        let mut set = ResultSet::new();
+        assert!(set.is_empty());
+        set.push(TableData::new("a", "A"));
+        set.push(TableData::new("b", "B"));
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.tables[0].id, "a");
+        assert_eq!(set.tables[1].id, "b");
+    }
+}

@@ -1,0 +1,384 @@
+//! Pluggable renderers over the typed results model.
+//!
+//! One [`Renderer`] implementation per output format:
+//!
+//! * [`TextRenderer`] — the historical aligned-text tables, byte-identical
+//!   to the pre-typed pipeline (the golden guard pins this);
+//! * [`JsonRenderer`] — one self-describing JSON document per invocation,
+//!   hand-rolled (no registry access, so no serde), with stable key order
+//!   and shortest-round-trip float formatting so output is deterministic
+//!   down to the byte across thread counts;
+//! * [`CsvRenderer`] — RFC-4180-style CSV with proper quoting (the
+//!   historical `--csv` path never escaped, which corrupted rows whose
+//!   configuration labels contain commas, e.g. `(IJ-10x4x7, EJ-32x4)`).
+//!
+//! `jetty-repro` selects one with `--format {text,json,csv}`.
+
+use std::fmt::Write as _;
+
+use super::json;
+use super::{ResultSet, TableData};
+
+/// The output formats `jetty-repro --format` accepts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Format {
+    /// Aligned text tables (the default; golden-guarded).
+    #[default]
+    Text,
+    /// One JSON document for the whole invocation.
+    Json,
+    /// Comment-separated CSV sections on stdout.
+    Csv,
+}
+
+impl Format {
+    /// Every accepted format, in `--help` order.
+    pub const ALL: [Format; 3] = [Format::Text, Format::Json, Format::Csv];
+
+    /// Parses a `--format` value (case-insensitive).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "text" => Some(Format::Text),
+            "json" => Some(Format::Json),
+            "csv" => Some(Format::Csv),
+            _ => None,
+        }
+    }
+
+    /// The CLI name of this format.
+    pub fn name(self) -> &'static str {
+        match self {
+            Format::Text => "text",
+            Format::Json => "json",
+            Format::Csv => "csv",
+        }
+    }
+
+    /// The renderer implementing this format.
+    pub fn renderer(self) -> Box<dyn Renderer> {
+        match self {
+            Format::Text => Box::new(TextRenderer),
+            Format::Json => Box::new(JsonRenderer),
+            Format::Csv => Box::new(CsvRenderer),
+        }
+    }
+}
+
+/// Renders typed tables into one concrete output format.
+///
+/// The contract `jetty-repro` relies on: [`Renderer::render_set`] is the
+/// *entire* stdout of an invocation (including the trailing newline), so
+/// switching `--format` can never interleave formats or leak partial
+/// output, and the text format reproduces the historical
+/// one-`println!`-per-table byte stream exactly.
+pub trait Renderer {
+    /// Renders one table.
+    fn render_table(&self, table: &TableData) -> String;
+
+    /// Renders a whole result set. The default joins tables with one blank
+    /// line (what consecutive `println!("{}", table.render())` calls
+    /// produced historically); document formats override this.
+    fn render_set(&self, set: &ResultSet) -> String {
+        let mut out = String::new();
+        for table in &set.tables {
+            out.push_str(&self.render_table(table));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The aligned-text renderer (the historical `Table::render`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TextRenderer;
+
+impl Renderer for TextRenderer {
+    fn render_table(&self, table: &TableData) -> String {
+        let texts: Vec<Vec<String>> =
+            table.rows.iter().map(|row| row.iter().map(|c| c.text()).collect()).collect();
+        let ncols = table.columns.len().max(texts.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; ncols];
+        for (i, h) in table.columns.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &texts {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", table.title);
+        if !table.columns.is_empty() {
+            push_aligned_row(&mut out, &table.columns, &widths);
+            let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+            push_aligned_row(&mut out, &rule, &widths);
+        }
+        for row in &texts {
+            push_aligned_row(&mut out, row, &widths);
+        }
+        out
+    }
+}
+
+fn push_aligned_row(out: &mut String, cells: &[String], widths: &[usize]) {
+    for (i, cell) in cells.iter().enumerate() {
+        if i > 0 {
+            out.push_str("  ");
+        }
+        let _ = write!(out, "{:>width$}", cell, width = widths[i]);
+    }
+    out.push('\n');
+}
+
+/// The JSON renderer: one document per invocation, cells as typed objects.
+///
+/// Layout (key order is fixed; floats use shortest-round-trip formatting):
+///
+/// ```json
+/// {
+///   "format": 1,
+///   "generator": "jetty-repro",
+///   "tables": [
+///     {
+///       "id": "table2",
+///       "title": "...",
+///       "columns": ["App", "..."],
+///       "rows": [
+///         [{"kind":"label","value":"ba"}, {"kind":"ratio","value":0.471}]
+///       ]
+///     }
+///   ]
+/// }
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct JsonRenderer;
+
+/// Version of the JSON document layout.
+pub const JSON_FORMAT_VERSION: u64 = 1;
+
+impl JsonRenderer {
+    fn write_table(out: &mut String, table: &TableData, indent: &str) {
+        let _ = writeln!(out, "{indent}{{");
+        let _ = writeln!(out, "{indent}  \"id\": {},", json::quote(&table.id));
+        let _ = writeln!(out, "{indent}  \"title\": {},", json::quote(&table.title));
+        let columns: Vec<String> = table.columns.iter().map(|c| json::quote(c)).collect();
+        let _ = writeln!(out, "{indent}  \"columns\": [{}],", columns.join(", "));
+        if table.rows.is_empty() {
+            let _ = writeln!(out, "{indent}  \"rows\": []");
+        } else {
+            let _ = writeln!(out, "{indent}  \"rows\": [");
+            for (i, row) in table.rows.iter().enumerate() {
+                let _ = write!(out, "{indent}    [");
+                for (j, cell) in row.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    cell.write_json(out);
+                }
+                let comma = if i + 1 < table.rows.len() { "," } else { "" };
+                let _ = writeln!(out, "]{comma}");
+            }
+            let _ = writeln!(out, "{indent}  ]");
+        }
+        let _ = write!(out, "{indent}}}");
+    }
+}
+
+impl Renderer for JsonRenderer {
+    fn render_table(&self, table: &TableData) -> String {
+        let mut out = String::new();
+        Self::write_table(&mut out, table, "");
+        out.push('\n');
+        out
+    }
+
+    fn render_set(&self, set: &ResultSet) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"format\": {JSON_FORMAT_VERSION},");
+        out.push_str("  \"generator\": \"jetty-repro\",\n");
+        if set.tables.is_empty() {
+            out.push_str("  \"tables\": []\n");
+        } else {
+            out.push_str("  \"tables\": [\n");
+            for (i, table) in set.tables.iter().enumerate() {
+                Self::write_table(&mut out, table, "    ");
+                out.push_str(if i + 1 < set.tables.len() { ",\n" } else { "\n" });
+            }
+            out.push_str("  ]\n");
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// The CSV renderer. Per table: a header row and the data rows, each field
+/// quoted when it contains a comma, quote, or newline (quotes doubled).
+/// [`Renderer::render_set`] separates tables with a `# id: title` comment
+/// line and one blank line, so a multi-table stdout dump stays navigable;
+/// `--csv DIR` writes [`Renderer::render_table`] (no comment line) per
+/// file, preserving the historical per-exhibit file layout.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CsvRenderer;
+
+/// Escapes one CSV field (RFC-4180 quoting).
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+impl Renderer for CsvRenderer {
+    fn render_table(&self, table: &TableData) -> String {
+        let mut out = String::new();
+        if !table.columns.is_empty() {
+            let fields: Vec<String> = table.columns.iter().map(|c| csv_field(c)).collect();
+            let _ = writeln!(out, "{}", fields.join(","));
+        }
+        for row in &table.rows {
+            let fields: Vec<String> = row.iter().map(|c| csv_field(&c.text())).collect();
+            let _ = writeln!(out, "{}", fields.join(","));
+        }
+        out
+    }
+
+    fn render_set(&self, set: &ResultSet) -> String {
+        let mut out = String::new();
+        for table in &set.tables {
+            let _ = writeln!(out, "# {}: {}", table.id, table.title);
+            out.push_str(&self.render_table(table));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::json::Json;
+    use super::super::Cell;
+    use super::*;
+
+    fn demo() -> TableData {
+        let mut t = TableData::new("demo", "demo table");
+        t.headers(["app", "value"]);
+        t.row([Cell::label("ba"), Cell::Ratio(0.471)]);
+        t.row([Cell::label("unstructured"), Cell::Ratio(0.03)]);
+        t
+    }
+
+    #[test]
+    fn text_renderer_aligns_columns_like_the_historical_table() {
+        let s = TextRenderer.render_table(&demo());
+        assert!(s.starts_with("== demo table ==\n"));
+        assert!(s.contains("unstructured"));
+        let lines: Vec<&str> = s.lines().skip(1).collect();
+        let lens: Vec<usize> = lines.iter().map(|l| l.len()).collect();
+        assert!(lens.windows(2).all(|w| w[0] == w[1]), "{lens:?}");
+    }
+
+    #[test]
+    fn text_set_matches_one_println_per_table() {
+        let mut set = ResultSet::new();
+        set.push(demo());
+        set.push(demo());
+        let expected = format!("{}\n{}\n", demo().render(), demo().render());
+        assert_eq!(TextRenderer.render_set(&set), expected);
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = TableData::new("esc", "escaping");
+        t.headers(["label", "note"]);
+        t.row([Cell::label("(IJ-10x4x7, EJ-32x4)"), Cell::text_cell("plain")]);
+        t.row([Cell::label("say \"hi\""), Cell::text_cell("multi\nline")]);
+        let csv = CsvRenderer.render_table(&t);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("label,note"));
+        assert_eq!(lines.next(), Some("\"(IJ-10x4x7, EJ-32x4)\",plain"));
+        // The quoted cell doubles its quotes; the newline cell is quoted,
+        // spanning two physical lines.
+        assert_eq!(lines.next(), Some("\"say \"\"hi\"\"\",\"multi"));
+        assert_eq!(lines.next(), Some("line\""));
+        assert_eq!(lines.next(), None);
+    }
+
+    #[test]
+    fn csv_set_separates_tables_with_comment_lines() {
+        let mut set = ResultSet::new();
+        set.push(demo());
+        let out = CsvRenderer.render_set(&set);
+        assert!(out.starts_with("# demo: demo table\n"));
+        assert!(out.contains("app,value\n"));
+        assert!(out.ends_with("\n\n"));
+    }
+
+    #[test]
+    fn json_set_parses_and_reconstructs_every_cell() {
+        let mut set = ResultSet::new();
+        set.push(demo());
+        let doc = JsonRenderer.render_set(&set);
+        let parsed = Json::parse(&doc).expect("renderer output must be valid JSON");
+        assert_eq!(parsed.get("format").and_then(Json::as_u64), Some(JSON_FORMAT_VERSION));
+        let tables = parsed.get("tables").unwrap().as_array().unwrap();
+        assert_eq!(tables.len(), 1);
+        let t = &tables[0];
+        assert_eq!(t.get("id").unwrap().as_str(), Some("demo"));
+        assert_eq!(t.get("columns").unwrap().as_array().unwrap().len(), 2);
+        let rows = t.get("rows").unwrap().as_array().unwrap();
+        assert_eq!(rows.len(), 2);
+        let cell = Cell::from_json(&rows[0].as_array().unwrap()[1]).unwrap();
+        assert_eq!(cell, Cell::Ratio(0.471));
+    }
+
+    #[test]
+    fn json_escapes_titles_and_labels() {
+        let mut t = TableData::new("q", "title with \"quotes\" and \\slashes\\");
+        t.headers(["a"]);
+        t.row([Cell::label("line\nbreak")]);
+        let doc = JsonRenderer.render_set(&ResultSet { tables: vec![t] });
+        let parsed = Json::parse(&doc).expect("escaped JSON must parse");
+        let table = &parsed.get("tables").unwrap().as_array().unwrap()[0];
+        assert_eq!(
+            table.get("title").unwrap().as_str(),
+            Some("title with \"quotes\" and \\slashes\\")
+        );
+        let cell = Cell::from_json(
+            &table.get("rows").unwrap().as_array().unwrap()[0].as_array().unwrap()[0],
+        )
+        .unwrap();
+        assert_eq!(cell, Cell::Label("line\nbreak".into()));
+    }
+
+    #[test]
+    fn empty_set_renders_valid_documents_in_every_format() {
+        let set = ResultSet::new();
+        assert_eq!(TextRenderer.render_set(&set), "");
+        assert_eq!(CsvRenderer.render_set(&set), "");
+        let doc = JsonRenderer.render_set(&set);
+        assert!(Json::parse(&doc).is_ok(), "{doc}");
+    }
+
+    #[test]
+    fn format_parsing_and_names_round_trip() {
+        for f in Format::ALL {
+            assert_eq!(Format::parse(f.name()), Some(f));
+            assert_eq!(Format::parse(&f.name().to_uppercase()), Some(f));
+        }
+        assert_eq!(Format::parse("yaml"), None);
+        assert_eq!(Format::default(), Format::Text);
+        // Each format's renderer is live and distinct on the same input.
+        let mut set = ResultSet::new();
+        set.push(demo());
+        assert_ne!(
+            Format::Text.renderer().render_set(&set),
+            Format::Json.renderer().render_set(&set)
+        );
+        assert_ne!(
+            Format::Json.renderer().render_set(&set),
+            Format::Csv.renderer().render_set(&set)
+        );
+    }
+}

@@ -76,6 +76,13 @@ impl RunOptions {
         self
     }
 
+    /// Selects the non-subblocked L2 variant (the paper's platform is
+    /// subblocked; the `nsb` sweep axis flips this).
+    pub fn with_non_subblocked(mut self, non_subblocked: bool) -> Self {
+        self.non_subblocked = non_subblocked;
+        self
+    }
+
     /// Compact one-line description for logs and `--timings` lines, e.g.
     /// `cpus=4 scale=1 nsb=false check=false proto=MOESI bank=22`.
     pub fn describe(&self) -> String {
@@ -288,9 +295,7 @@ mod tests {
         let mut checked = base.clone();
         checked.check = true;
         assert_ne!(base, checked);
-        let mut nsb = base.clone();
-        nsb.non_subblocked = true;
-        assert_ne!(base, nsb);
+        assert_ne!(base, base.clone().with_non_subblocked(true));
         assert_ne!(base, base.clone().with_protocol(ProtocolKind::Mesi));
         assert_ne!(
             h(&base),

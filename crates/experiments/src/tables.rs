@@ -1,23 +1,25 @@
-//! Regenerators for the paper's tables.
+//! Regenerators for the paper's tables, as typed [`TableData`] — values
+//! stay values here; formatting is the renderer's job.
 
 use jetty_core::IncludeConfig;
 use jetty_energy::xeon;
 
-use crate::report::{mbytes, millions, pct, Table};
+use crate::results::{Cell, TableData};
 use crate::runner::{average, AppRun};
 
 /// Table 1: Xeon peak-power breakdown with the derived fraction columns.
-pub fn table1() -> Table {
-    let mut t = Table::new("Table 1: Xeon peak power breakdown (core vs external L2)");
+pub fn table1() -> TableData {
+    let mut t =
+        TableData::new("table1", "Table 1: Xeon peak power breakdown (core vs external L2)");
     t.headers(["L2 size", "Core W", "L2 W", "L2 pads W", "L2 %", "L2 w/o pads %"]);
     for row in xeon::table1_rows() {
         t.row([
-            format!("{}K", row.l2_kbytes),
-            format!("{:.1}", row.core_w),
-            format!("{:.1}", row.l2_w),
-            format!("{:.1}", row.l2_pads_w),
-            pct(row.l2_fraction()),
-            pct(row.l2_fraction_without_pads()),
+            Cell::label(format!("{}K", row.l2_kbytes)),
+            Cell::Fixed { value: row.core_w, dp: 1 },
+            Cell::Fixed { value: row.l2_w, dp: 1 },
+            Cell::Fixed { value: row.l2_pads_w, dp: 1 },
+            Cell::Ratio(row.l2_fraction()),
+            Cell::Ratio(row.l2_fraction_without_pads()),
         ]);
     }
     t
@@ -25,8 +27,8 @@ pub fn table1() -> Table {
 
 /// Table 2: per-application characteristics of the simulated suite, with
 /// the paper's values alongside for calibration transparency.
-pub fn table2(runs: &[AppRun]) -> Table {
-    let mut t = Table::new("Table 2: applications (measured | paper)");
+pub fn table2(runs: &[AppRun]) -> TableData {
+    let mut t = TableData::new("table2", "Table 2: applications (measured | paper)");
     t.headers([
         "App",
         "Accesses",
@@ -41,64 +43,64 @@ pub fn table2(runs: &[AppRun]) -> Table {
     for r in runs {
         let n = &r.run.nodes;
         t.row([
-            r.profile.abbrev.to_string(),
-            millions(r.refs),
-            mbytes(r.footprint),
-            pct(n.l1_hit_rate()),
-            pct(r.profile.paper.l1_hit),
-            pct(n.l2_local_hit_rate()),
-            pct(r.profile.paper.l2_hit),
-            millions(n.snoops_seen),
-            format!("{}M", r.profile.paper.snoop_accesses_m),
+            Cell::label(r.profile.abbrev),
+            Cell::Millions(r.refs),
+            Cell::MBytes(r.footprint),
+            Cell::Ratio(n.l1_hit_rate()),
+            Cell::Ratio(r.profile.paper.l1_hit),
+            Cell::Ratio(n.l2_local_hit_rate()),
+            Cell::Ratio(r.profile.paper.l2_hit),
+            Cell::Millions(n.snoops_seen),
+            Cell::MillionsValue(r.profile.paper.snoop_accesses_m),
         ]);
     }
     t
 }
 
 /// Table 3: remote-cache-hit distribution and snoop-miss fractions.
-pub fn table3(runs: &[AppRun]) -> Table {
-    let mut t = Table::new("Table 3: snoop hit distribution (measured, paper in parens)");
+pub fn table3(runs: &[AppRun]) -> TableData {
+    let mut t =
+        TableData::new("table3", "Table 3: snoop hit distribution (measured, paper in parens)");
     t.headers(["App", "0 hits", "1 hit", "2 hits", "3 hits", "miss %snoops", "miss %all"]);
     for r in runs {
-        let fr = r.run.system.remote_hit_fractions();
         let paper = &r.profile.paper;
-        let cell = |m: f64, p: f64| format!("{} ({})", pct(m), pct(p));
+        let pair = |m: f64, p: f64| Cell::RatioPair { measured: m, paper: p };
         t.row([
-            r.profile.abbrev.to_string(),
-            cell(fr.first().copied().unwrap_or(0.0), paper.remote_hits[0]),
-            cell(fr.get(1).copied().unwrap_or(0.0), paper.remote_hits[1]),
-            cell(fr.get(2).copied().unwrap_or(0.0), paper.remote_hits[2]),
-            cell(fr.get(3).copied().unwrap_or(0.0), paper.remote_hits[3]),
-            cell(r.run.snoop_miss_fraction_of_snoops(), paper.snoop_miss_of_snoops),
-            cell(r.run.snoop_miss_fraction_of_all(), paper.snoop_miss_of_all),
+            Cell::label(r.profile.abbrev),
+            pair(r.run.remote_hit_fraction(0), paper.remote_hits[0]),
+            pair(r.run.remote_hit_fraction(1), paper.remote_hits[1]),
+            pair(r.run.remote_hit_fraction(2), paper.remote_hits[2]),
+            pair(r.run.remote_hit_fraction(3), paper.remote_hits[3]),
+            pair(r.run.snoop_miss_fraction_of_snoops(), paper.snoop_miss_of_snoops),
+            pair(r.run.snoop_miss_fraction_of_all(), paper.snoop_miss_of_all),
         ]);
     }
-    let avg = |f: &dyn Fn(&AppRun) -> f64| average(runs, f);
+    let avg = |f: &dyn Fn(&AppRun) -> f64| Cell::Ratio(average(runs, f));
     t.row([
-        "AVG".to_string(),
-        pct(avg(&|r| r.run.system.remote_hit_fractions().first().copied().unwrap_or(0.0))),
-        pct(avg(&|r| r.run.system.remote_hit_fractions().get(1).copied().unwrap_or(0.0))),
-        pct(avg(&|r| r.run.system.remote_hit_fractions().get(2).copied().unwrap_or(0.0))),
-        pct(avg(&|r| r.run.system.remote_hit_fractions().get(3).copied().unwrap_or(0.0))),
-        pct(avg(&|r| r.run.snoop_miss_fraction_of_snoops())),
-        pct(avg(&|r| r.run.snoop_miss_fraction_of_all())),
+        Cell::label("AVG"),
+        avg(&|r| r.run.remote_hit_fraction(0)),
+        avg(&|r| r.run.remote_hit_fraction(1)),
+        avg(&|r| r.run.remote_hit_fraction(2)),
+        avg(&|r| r.run.remote_hit_fraction(3)),
+        avg(&|r| r.run.snoop_miss_fraction_of_snoops()),
+        avg(&|r| r.run.snoop_miss_fraction_of_all()),
     ]);
     t
 }
 
 /// Table 4: storage requirements of the IJ configurations.
-pub fn table4() -> Table {
-    let mut t = Table::new("Table 4: Include-Jetty storage (14-bit counters)");
+pub fn table4() -> TableData {
+    let mut t = TableData::new("table4", "Table 4: Include-Jetty storage (14-bit counters)");
     t.headers(["IJ", "p-bit bits", "p-bit org", "cnt bits", "total bytes"]);
     for (e, n, s) in [(10u32, 4u32, 7u32), (9, 4, 7), (8, 4, 7), (7, 5, 6), (6, 5, 6)] {
         let c = IncludeConfig::new(e, n, s);
         let (rows, cols) = c.pbit_org();
         t.row([
-            c.label(),
-            format!("{} x {}", c.sub_arrays, c.entries_per_array()),
-            format!("{} x {}x{}", c.sub_arrays, rows, cols),
-            format!("{}", c.cnt_storage_bits()),
-            format!("{}", c.storage_bytes()),
+            Cell::label(c.label()),
+            Cell::text_cell(format!("{} x {}", c.sub_arrays, c.entries_per_array())),
+            Cell::text_cell(format!("{} x {}x{}", c.sub_arrays, rows, cols)),
+            Cell::Count(c.cnt_storage_bits() as u64),
+            Cell::Count(c.storage_bytes() as u64),
         ]);
     }
     t
@@ -106,8 +108,8 @@ pub fn table4() -> Table {
 
 /// Calibration report: every measured statistic against the paper's value,
 /// with absolute deltas — the source for EXPERIMENTS.md.
-pub fn calibration(runs: &[AppRun]) -> Table {
-    let mut t = Table::new("Calibration: measured vs paper (delta in points)");
+pub fn calibration(runs: &[AppRun]) -> TableData {
+    let mut t = TableData::new("calibration", "Calibration: measured vs paper (delta in points)");
     t.headers([
         "App",
         "L1 d",
@@ -119,21 +121,20 @@ pub fn calibration(runs: &[AppRun]) -> Table {
         "miss%sn d",
         "miss%all d",
     ]);
-    let fmt = |m: f64, p: f64| format!("{:+.1}", 100.0 * (m - p));
+    let delta = |m: f64, p: f64| Cell::DeltaPoints(m - p);
     for r in runs {
         let n = &r.run.nodes;
-        let fr = r.run.system.remote_hit_fractions();
         let paper = &r.profile.paper;
         t.row([
-            r.profile.abbrev.to_string(),
-            fmt(n.l1_hit_rate(), paper.l1_hit),
-            fmt(n.l2_local_hit_rate(), paper.l2_hit),
-            fmt(fr.first().copied().unwrap_or(0.0), paper.remote_hits[0]),
-            fmt(fr.get(1).copied().unwrap_or(0.0), paper.remote_hits[1]),
-            fmt(fr.get(2).copied().unwrap_or(0.0), paper.remote_hits[2]),
-            fmt(fr.get(3).copied().unwrap_or(0.0), paper.remote_hits[3]),
-            fmt(r.run.snoop_miss_fraction_of_snoops(), paper.snoop_miss_of_snoops),
-            fmt(r.run.snoop_miss_fraction_of_all(), paper.snoop_miss_of_all),
+            Cell::label(r.profile.abbrev),
+            delta(n.l1_hit_rate(), paper.l1_hit),
+            delta(n.l2_local_hit_rate(), paper.l2_hit),
+            delta(r.run.remote_hit_fraction(0), paper.remote_hits[0]),
+            delta(r.run.remote_hit_fraction(1), paper.remote_hits[1]),
+            delta(r.run.remote_hit_fraction(2), paper.remote_hits[2]),
+            delta(r.run.remote_hit_fraction(3), paper.remote_hits[3]),
+            delta(r.run.snoop_miss_fraction_of_snoops(), paper.snoop_miss_of_snoops),
+            delta(r.run.snoop_miss_fraction_of_all(), paper.snoop_miss_of_all),
         ]);
     }
     t
@@ -156,6 +157,7 @@ mod tests {
     fn table1_has_three_rows() {
         let t = table1();
         assert_eq!(t.len(), 3);
+        assert_eq!(t.id, "table1");
         let s = t.render();
         assert!(s.contains("512K") && s.contains("2048K"));
     }
@@ -166,6 +168,8 @@ mod tests {
         let t = table2(&runs);
         assert_eq!(t.len(), 2);
         assert!(t.render().contains("ff"));
+        // The typed row keeps the raw count; the renderer scales it.
+        assert_eq!(t.rows[0][1], Cell::Millions(runs[0].refs));
     }
 
     #[test]
@@ -174,6 +178,8 @@ mod tests {
         let t = table3(&runs);
         assert_eq!(t.len(), 3); // 2 apps + AVG
         assert!(t.render().contains("AVG"));
+        assert!(matches!(t.rows[0][1], Cell::RatioPair { .. }));
+        assert!(matches!(t.rows[2][1], Cell::Ratio(_)));
     }
 
     #[test]
@@ -192,5 +198,6 @@ mod tests {
         assert_eq!(t.len(), 2);
         let csv = t.to_csv();
         assert!(csv.lines().count() >= 3);
+        assert!(matches!(t.rows[0][1], Cell::DeltaPoints(_)));
     }
 }

@@ -1,36 +1,42 @@
 //! Golden-output determinism guard.
 //!
-//! `jetty-repro all` stdout is kept byte-comparable across versions: the
-//! whole reproduction is deterministic (synthetic traces, fixed seeds, a
-//! deterministic engine), so any stdout drift is either an intentional
-//! output change — update the golden file deliberately — or a silent
-//! behaviour change in the simulator, which is exactly what this test
-//! exists to catch. The hot-path refactors (SoA caches, scratch-buffer
-//! fills, fast version maps) ride on this guarantee: they must be
-//! behaviour-preserving by construction, and this file is the reviewer's
-//! proof.
+//! `jetty-repro all` (and the `protocols` extension) stdout is kept
+//! byte-comparable across versions: the whole reproduction is
+//! deterministic (synthetic traces, fixed seeds, a deterministic engine),
+//! so any stdout drift is either an intentional output change — update the
+//! golden file deliberately — or a silent behaviour change in the
+//! simulator, which is exactly what this test exists to catch. The
+//! hot-path refactors (SoA caches, scratch-buffer fills, fast version
+//! maps) and the typed-results refactor (collect typed, render late) ride
+//! on this guarantee: they must be behaviour-preserving by construction,
+//! and this file is the reviewer's proof.
 //!
 //! Regenerate (only for an intentional output change) with:
 //!
 //! ```text
 //! cargo run --release --bin jetty-repro -- all --scale 0.02 --threads 2 \
 //!     > tests/golden/all_scale002.txt
+//! cargo run --release --bin jetty-repro -- protocols --scale 0.02 --threads 2 \
+//!     > tests/golden/protocols_scale002.txt
 //! ```
 
 use std::path::PathBuf;
 use std::process::Command;
 
-/// Repo-root path of the golden transcript.
-fn golden_path() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/all_scale002.txt")
+/// Repo-root path of a golden transcript.
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden").join(name)
 }
 
-#[test]
-fn all_scale002_stdout_matches_the_golden_file() {
-    let golden = std::fs::read(golden_path())
-        .expect("tests/golden/all_scale002.txt missing — see module docs to regenerate");
+/// Runs `jetty-repro <command> --scale 0.02 --threads 2` and asserts the
+/// stdout matches the named golden file byte for byte, pointing at the
+/// first diverging line on failure.
+fn assert_matches_golden(command: &str, golden_name: &str) {
+    let golden = std::fs::read(golden_path(golden_name)).unwrap_or_else(|e| {
+        panic!("tests/golden/{golden_name} unreadable ({e}) — see module docs")
+    });
     let out = Command::new(env!("CARGO_BIN_EXE_jetty-repro"))
-        .args(["all", "--scale", "0.02", "--threads", "2"])
+        .args([command, "--scale", "0.02", "--threads", "2"])
         .output()
         .expect("failed to spawn jetty-repro");
     assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
@@ -42,7 +48,7 @@ fn all_scale002_stdout_matches_the_golden_file() {
             assert_eq!(
                 a,
                 e,
-                "stdout diverges from tests/golden/all_scale002.txt at line {} — \
+                "stdout diverges from tests/golden/{golden_name} at line {} — \
                  if the output change is intentional, regenerate the golden file \
                  (see tests/golden_output.rs docs)",
                 k + 1
@@ -50,11 +56,21 @@ fn all_scale002_stdout_matches_the_golden_file() {
         }
         panic!(
             "stdout length differs from the golden file ({} vs {} bytes) with a \
-             common prefix — regenerate tests/golden/all_scale002.txt if intentional",
+             common prefix — regenerate tests/golden/{golden_name} if intentional",
             out.stdout.len(),
             golden.len()
         );
     }
+}
+
+#[test]
+fn all_scale002_stdout_matches_the_golden_file() {
+    assert_matches_golden("all", "all_scale002.txt");
+}
+
+#[test]
+fn protocols_scale002_stdout_matches_the_golden_file() {
+    assert_matches_golden("protocols", "protocols_scale002.txt");
 }
 
 #[test]

@@ -1,0 +1,156 @@
+//! End-to-end renderer guarantees of the `jetty-repro` binary:
+//!
+//! * `--format json` is **deterministic to the byte** across thread counts
+//!   (stable key order, shortest-round-trip float formatting) and always
+//!   parses — the parse here (no shell tools, no serde) is the CI
+//!   JSON-validity check;
+//! * the JSON document **round-trips**: rebuilding typed cells from the
+//!   parsed document and re-rendering through the text renderer reproduces
+//!   the `--format text` stdout byte for byte, which proves every value of
+//!   every table survives the trip;
+//! * `--format csv` escapes the configuration labels that contain commas
+//!   (the historical `--csv` path silently corrupted those rows);
+//! * `--csv DIR` still writes one (escaped) CSV file per exhibit.
+
+use std::process::{Command, Output};
+
+use jetty_experiments::results::json::Json;
+use jetty_experiments::results::render::Format;
+use jetty_experiments::results::{Cell, ResultSet, TableData};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_jetty-repro"))
+        .args(args)
+        .output()
+        .expect("failed to spawn jetty-repro")
+}
+
+fn stdout_of(args: &[&str]) -> Vec<u8> {
+    let out = repro(args);
+    assert!(out.status.success(), "{args:?} failed: {}", String::from_utf8_lossy(&out.stderr));
+    out.stdout
+}
+
+/// Rebuilds the typed [`ResultSet`] from a parsed JSON document.
+fn reconstruct(doc: &Json) -> ResultSet {
+    let mut set = ResultSet::new();
+    for table in doc.get("tables").expect("tables key").as_array().expect("tables array") {
+        let mut data = TableData::new(
+            table.get("id").and_then(Json::as_str).expect("table id"),
+            table.get("title").and_then(Json::as_str).expect("table title"),
+        );
+        data.headers(
+            table
+                .get("columns")
+                .and_then(Json::as_array)
+                .expect("columns")
+                .iter()
+                .map(|c| c.as_str().expect("string column")),
+        );
+        for row in table.get("rows").and_then(Json::as_array).expect("rows") {
+            data.row(
+                row.as_array()
+                    .expect("row array")
+                    .iter()
+                    .map(|c| Cell::from_json(c).expect("known cell kind")),
+            );
+        }
+        set.push(data);
+    }
+    set
+}
+
+#[test]
+fn json_snapshot_is_byte_identical_across_thread_counts() {
+    let run = |threads: &str| {
+        stdout_of(&[
+            "table2",
+            "table3",
+            "--scale",
+            "0.02",
+            "--format",
+            "json",
+            "--threads",
+            threads,
+        ])
+    };
+    let one = run("1");
+    assert_eq!(one, run("2"), "--threads 2 changed the JSON bytes");
+    assert_eq!(one, run("3"), "--threads 3 changed the JSON bytes");
+    let doc = Json::parse(std::str::from_utf8(&one).expect("utf8")).expect("valid JSON");
+    let tables = doc.get("tables").unwrap().as_array().unwrap();
+    assert_eq!(tables.len(), 2);
+    assert_eq!(tables[0].get("id").unwrap().as_str(), Some("table2"));
+    assert_eq!(tables[1].get("id").unwrap().as_str(), Some("table3"));
+}
+
+#[test]
+fn json_round_trips_every_value_of_the_full_reproduction() {
+    let text = stdout_of(&["all", "--scale", "0.02", "--threads", "2"]);
+    let json = stdout_of(&["all", "--scale", "0.02", "--threads", "2", "--format", "json"]);
+    let doc = Json::parse(std::str::from_utf8(&json).expect("utf8")).expect("valid JSON");
+    let set = reconstruct(&doc);
+    // table1 + fig2 (2 panels) + table2/3/4 + fig4/fig5 (4) + fig6 (4
+    // panels) + calibration + smp8 + nsb + the two ablations.
+    assert_eq!(set.len(), 19, "all regenerates 19 exhibit tables");
+    let re_rendered = Format::Text.renderer().render_set(&set);
+    assert_eq!(
+        re_rendered.as_bytes(),
+        text,
+        "re-rendering the parsed JSON must reproduce the text stdout byte for byte"
+    );
+}
+
+#[test]
+fn csv_format_escapes_comma_bearing_configuration_labels() {
+    let csv = stdout_of(&["fig5b", "--scale", "0.002", "--threads", "2", "--format", "csv"]);
+    let csv = String::from_utf8(csv).expect("utf8");
+    assert!(csv.starts_with("# fig5b: "), "{csv}");
+    assert!(csv.contains("\"(IJ-10x4x7, EJ-32x4)\""), "hybrid labels must be quoted in CSV: {csv}");
+}
+
+#[test]
+fn csv_dir_still_writes_one_file_per_exhibit() {
+    let dir = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("csv_dir_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = repro(&["table1", "table4", "--csv", dir.to_str().unwrap()]);
+    assert!(out.status.success());
+    for name in ["table1.csv", "table4.csv"] {
+        let content = std::fs::read_to_string(dir.join(name))
+            .unwrap_or_else(|e| panic!("{name} missing: {e}"));
+        assert!(content.lines().count() >= 4, "{name} too short: {content}");
+    }
+    // The files carry data rows, not comment lines (per-exhibit layout).
+    let table1 = std::fs::read_to_string(dir.join("table1.csv")).unwrap();
+    assert!(table1.starts_with("L2 size,"), "{table1}");
+}
+
+#[test]
+fn sweep_emits_the_same_grid_in_all_three_formats() {
+    fn args(fmt: &str) -> Vec<&str> {
+        vec![
+            "sweep",
+            "--scale",
+            "0.002",
+            "--threads",
+            "2",
+            "--axis",
+            "protocol=moesi,msi",
+            "--axis",
+            "cpus=4",
+            "--format",
+            fmt,
+        ]
+    }
+    let text = String::from_utf8(stdout_of(&args("text"))).unwrap();
+    let json = String::from_utf8(stdout_of(&args("json"))).unwrap();
+    let csv = String::from_utf8(stdout_of(&args("csv"))).unwrap();
+
+    assert!(text.contains("== Sweep: coverage and energy across protocol"));
+    let doc = Json::parse(&json).expect("sweep JSON parses");
+    let re_rendered = Format::Text.renderer().render_set(&reconstruct(&doc));
+    assert_eq!(re_rendered, text, "sweep JSON must round-trip to the text rendering");
+    assert!(csv.contains("# sweep: "), "{csv}");
+    assert!(csv.contains("# sweep_axes: "), "{csv}");
+    assert!(csv.contains("MSI"), "{csv}");
+}

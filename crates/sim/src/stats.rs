@@ -225,6 +225,14 @@ impl RunStats {
     pub fn snoop_amplification(&self) -> f64 {
         ratio(self.nodes.snoops_seen, self.nodes.l2_local_accesses)
     }
+
+    /// Fraction of bus transactions that found exactly `k` remote copies
+    /// (one column of Table 3's remote-hit distribution). Out-of-range `k`
+    /// — e.g. column 3 of a 2-way system — reads as 0, so table builders
+    /// can ask for the paper's four columns unconditionally.
+    pub fn remote_hit_fraction(&self, k: usize) -> f64 {
+        self.system.remote_hit_fractions().get(k).copied().unwrap_or(0.0)
+    }
 }
 
 fn ratio(num: u64, den: u64) -> f64 {
@@ -304,6 +312,18 @@ mod tests {
         assert!((run.snoop_miss_fraction_of_snoops() - 0.91).abs() < 1e-12);
         assert!((run.snoop_miss_fraction_of_all() - 91.0 / 180.0).abs() < 1e-12);
         assert!((run.snoop_amplification() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn remote_hit_fraction_reads_one_column_and_tolerates_overflow() {
+        let mut run = RunStats { system: SystemStats::new(2), ..RunStats::default() };
+        run.system.bus_reads = 4;
+        run.system.remote_hit_hist = vec![3, 1];
+        assert!((run.remote_hit_fraction(0) - 0.75).abs() < 1e-12);
+        assert!((run.remote_hit_fraction(1) - 0.25).abs() < 1e-12);
+        // Table 3 asks for four columns even on a 2-way system.
+        assert_eq!(run.remote_hit_fraction(2), 0.0);
+        assert_eq!(run.remote_hit_fraction(3), 0.0);
     }
 
     #[test]

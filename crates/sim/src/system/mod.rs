@@ -118,6 +118,24 @@ impl FilterReport {
             self.filtered as f64 / self.would_miss as f64
         }
     }
+
+    /// Fraction of *all* snoop probes this filter answered `NotCached`
+    /// (coverage is normalised to would-miss snoops; this is normalised to
+    /// everything that reached the filter). 0 when no snoops arrived.
+    pub fn filter_rate(&self) -> f64 {
+        if self.probes == 0 {
+            0.0
+        } else {
+            self.filtered as f64 / self.probes as f64
+        }
+    }
+
+    /// Filter storage rounded up to whole bytes, derived from
+    /// [`FilterReport::storage_bits`] — the sweep grid's `bytes` column,
+    /// giving every filter-axis row its storage cost alongside coverage.
+    pub fn storage_bytes(&self) -> usize {
+        self.storage_bits.div_ceil(8)
+    }
 }
 
 /// The simulated SMP.

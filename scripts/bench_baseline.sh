@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # Regenerates BENCH_baseline.json: wall-clock timings of representative
 # jetty-repro invocations, so successive PRs have a perf trajectory to
-# compare against. Schema 4 keeps the schema-3 measurements (host thread
+# compare against. Schema 5 keeps the schema-4 measurements (host thread
 # count, serial + parallel full reproduction, the MOESI/MESI/MSI protocol
-# sweep), adds the hot-path criterion throughputs (SoA L2 probe/fill and
-# the FastMap version map, benches/hotpath.rs), and preserves the previous
-# file's full-scale value under "previous" so the before/after of perf
-# work stays on record. Usage: scripts/bench_baseline.sh [reps]
+# sweep, the hot-path criterion throughputs), adds the declarative sweep
+# grid (`jetty-repro sweep`, protocol x cpus at scale 0.1): serial +
+# parallel wall-clock and the suite-cache hit rate the grid achieves
+# (points render from cached suites, so the default 6-point/6-suite grid
+# reads 50%), and preserves the previous file's full-scale value under
+# "previous" so the before/after of perf work stays on record.
+# Usage: scripts/bench_baseline.sh [reps]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -41,6 +44,11 @@ smoke_ms=$(time_ms table2 table3 --scale 0.1 --threads 1)
 energy_ms=$(time_ms fig6 --scale 0.1 --threads 1)
 protocols_ms=$(time_ms protocols --scale 0.1 --threads 1)
 protocols_parallel_ms=$(time_ms protocols --scale 0.1 --threads "$THREADS")
+sweep_ms=$(time_ms sweep --scale 0.1 --threads 1)
+sweep_parallel_ms=$(time_ms sweep --scale 0.1 --threads "$THREADS")
+# The grid's suite-cache hit rate, from the [sweep] stderr summary.
+sweep_hit_rate=$("$BIN" sweep --scale 0.1 --threads "$THREADS" 2>&1 >/dev/null \
+    | grep -o 'hit rate [0-9.]*%' | grep -o '[0-9.]*')
 full_ms=$(time_ms all --scale 1.0 --threads 1)
 full_parallel_ms=$(time_ms all --scale 1.0 --threads "$THREADS")
 
@@ -57,7 +65,7 @@ stdmap=$(hp version_map_std_hashmap)
 
 cat > BENCH_baseline.json <<EOF
 {
-  "schema": 4,
+  "schema": 5,
   "tool": "scripts/bench_baseline.sh",
   "reps": $REPS,
   "threads": $THREADS,
@@ -69,6 +77,9 @@ cat > BENCH_baseline.json <<EOF
     "repro_fig6_scale0.1_ms": $energy_ms,
     "repro_protocols_scale0.1_ms": $protocols_ms,
     "repro_protocols_scale0.1_parallel_ms": $protocols_parallel_ms,
+    "repro_sweep_scale0.1_ms": $sweep_ms,
+    "repro_sweep_scale0.1_parallel_ms": $sweep_parallel_ms,
+    "sweep_cache_hit_rate_pct": $sweep_hit_rate,
     "repro_all_full_scale_ms": $full_ms,
     "repro_all_full_scale_parallel_ms": $full_parallel_ms
   },

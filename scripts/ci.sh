@@ -25,7 +25,13 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 echo "==> golden output: jetty-repro all --scale 0.02 --threads 2 vs tests/golden/all_scale002.txt"
 target/release/jetty-repro all --scale 0.02 --threads 2 | diff -u tests/golden/all_scale002.txt -
 
-echo "==> protocol sweep smoke: jetty-repro protocols --scale 0.02 --threads 2"
-target/release/jetty-repro protocols --scale 0.02 --threads 2 >/dev/null
+echo "==> golden output: jetty-repro protocols --scale 0.02 --threads 2 vs tests/golden/protocols_scale002.txt"
+target/release/jetty-repro protocols --scale 0.02 --threads 2 | diff -u tests/golden/protocols_scale002.txt -
+
+echo "==> sweep smoke: jetty-repro sweep --scale 0.02 --threads 2"
+target/release/jetty-repro sweep --scale 0.02 --threads 2 >/dev/null
+
+echo "==> JSON validity: renderer output parsed by the in-tree rust parser (no shell tools)"
+cargo test -q -p jetty-experiments --test renderers json_ -- --nocapture
 
 echo "CI green."
