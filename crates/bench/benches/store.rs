@@ -1,0 +1,110 @@
+//! Run-store benches: append and scan throughput over representative
+//! multi-table records. The store sits on the CI critical path (every
+//! gated run appends once and the diff gate scans twice), so both
+//! operations need a pinned cost profile — append is dominated by JSON
+//! encoding plus one synced write, scan by frame validation and parsing.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use jetty_bench::bench_suite_with;
+use jetty_core::FilterSpec;
+use jetty_experiments::results::ResultSet;
+use jetty_experiments::store::{RunInfo, RunStore};
+use jetty_experiments::{figures, tables};
+
+/// A representative recorded set: the workload tables plus one figure,
+/// mirroring what a real `--store` invocation appends.
+fn sample_set() -> ResultSet {
+    let runs = bench_suite_with(vec![
+        FilterSpec::exclude(8, 2),
+        FilterSpec::hybrid_scalar(10, 4, 7, 32, 4),
+        FilterSpec::hybrid_scalar(9, 4, 7, 32, 4),
+        FilterSpec::hybrid_scalar(8, 4, 7, 32, 4),
+    ]);
+    let mut set = ResultSet::new();
+    set.push(tables::table1());
+    set.push(tables::table2(&runs));
+    set.push(tables::table3(&runs));
+    set.push(figures::fig6(&runs, figures::Fig6Panel::AllSerial));
+    set
+}
+
+fn sample_info() -> RunInfo {
+    RunInfo {
+        unix_time: 0,
+        git_rev: "benchrev".to_owned(),
+        command: "all".to_owned(),
+        options: "cpus4-scale0.02-sb-moesi-paperbank22".to_owned(),
+        timing_ms: 1000,
+    }
+}
+
+/// A unique temp path per call (the bench harness may re-enter setup).
+fn temp_store_path() -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "jetty_store_bench_{}_{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn append_bench(c: &mut Criterion) {
+    let set = sample_set();
+    let info = sample_info();
+    let cells: u64 = set.tables.iter().flat_map(|t| &t.rows).map(|r| r.len() as u64).sum();
+
+    let mut group = c.benchmark_group("store");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(cells));
+    group.bench_function("append_record", |b| {
+        b.iter_batched_ref(
+            || {
+                let path = temp_store_path();
+                let _ = fs::remove_file(&path);
+                (RunStore::open(&path), path)
+            },
+            |(store, path)| {
+                let outcome = store.append(&info, &set).expect("append");
+                let _ = fs::remove_file(&*path);
+                outcome.seq
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn scan_bench(c: &mut Criterion) {
+    let set = sample_set();
+    let info = sample_info();
+
+    // A populated store: 100 records of the representative set.
+    const RECORDS: u64 = 100;
+    let path = temp_store_path();
+    let _ = fs::remove_file(&path);
+    let store = RunStore::open(&path);
+    for _ in 0..RECORDS {
+        store.append(&info, &set).expect("append");
+    }
+    let bytes = fs::metadata(&path).expect("store metadata").len();
+
+    let mut group = c.benchmark_group("store");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(bytes));
+    group.bench_function(format!("scan_{RECORDS}_records"), |b| {
+        b.iter(|| {
+            let scan = store.scan().expect("scan");
+            assert!(scan.damage.is_none());
+            scan.records.len()
+        })
+    });
+    group.finish();
+    let _ = fs::remove_file(&path);
+}
+
+criterion_group!(benches, append_bench, scan_bench);
+criterion_main!(benches);

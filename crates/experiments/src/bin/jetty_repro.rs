@@ -5,6 +5,7 @@
 //! ```text
 //! jetty-repro [COMMANDS...] [--scale X] [--cpus N] [--threads N] [--format FMT]
 //!             [--csv DIR] [--axis NAME=V1,V2] [--check] [--timings]
+//!             [--store PATH] [--timing-band PCT]
 //! ```
 //!
 //! One subcommand per paper exhibit; [`COMMANDS`] is the authoritative
@@ -29,14 +30,17 @@ use std::time::Instant;
 use jetty_experiments::engine::Engine;
 use jetty_experiments::figures::{self, Fig6Panel};
 use jetty_experiments::results::render::Format;
-use jetty_experiments::results::{ResultSet, TableData};
+use jetty_experiments::results::{Cell, ResultSet, TableData};
 use jetty_experiments::runner::{AppRun, RunOptions};
+use jetty_experiments::store::diff::{diff_runs, DiffOptions};
+use jetty_experiments::store::{self, RunInfo, RunRef, RunStore};
 use jetty_experiments::sweep::{self, Axis, SweepGrid};
 use jetty_experiments::{ablation, protocols, tables};
 
 /// Every recognised subcommand: the paper's exhibits in paper order, then
 /// the extensions (`protocols` and `sweep` are *not* part of `all` — see
-/// [`usage`]).
+/// [`usage`]), then the run-store commands (`runs`, `diff`), which read
+/// recorded results instead of simulating.
 const COMMANDS: &[&str] = &[
     "all",
     "table1",
@@ -55,6 +59,8 @@ const COMMANDS: &[&str] = &[
     "ablation",
     "protocols",
     "sweep",
+    "runs",
+    "diff",
 ];
 
 /// The `--help` text (stdout, exit 0 — distinct from the unknown-flag
@@ -62,16 +68,24 @@ const COMMANDS: &[&str] = &[
 fn usage() -> String {
     format!(
         "jetty-repro [COMMANDS...] [--scale X] [--cpus N] [--threads N] \
-         [--format FMT] [--csv DIR] [--axis NAME=V1,V2] [--check] [--timings]\n\
+         [--format FMT] [--csv DIR] [--axis NAME=V1,V2] [--check] [--timings] \
+         [--store PATH] [--timing-band PCT]\n\
          commands: {}\n\
          `all` regenerates every paper exhibit; `protocols` (the \
          MOESI/MESI/MSI sweep) and `sweep` (the declarative scenario grid) \
          are opt-in and not part of `all`\n\
+         `runs` lists a run store; `diff RUN_A RUN_B` compares two recorded \
+         runs cell-by-cell (a run ref is N, latest, or PATH:REF) and exits \
+         nonzero on drift\n\
          --format selects the output renderer: text json csv (default: text)\n\
          --axis configures the sweep grid (repeatable; axes: cpus protocol \
          filter scale nsb), e.g. --axis cpus=4,8 --axis protocol=moesi,msi\n\
          --threads defaults to available parallelism (env override: JETTY_THREADS)\n\
-         --timings reports per-suite wall-clock on stderr (stdout untouched)",
+         --timings reports per-suite wall-clock on stderr (stdout untouched)\n\
+         --store appends this invocation's results to an append-only run \
+         store file (and is where `runs`/`diff` read from)\n\
+         --timing-band makes `diff` also fail when run B is more than PCT \
+         percent slower than run A",
         COMMANDS.join(" ")
     )
 }
@@ -93,6 +107,14 @@ struct Cli {
     /// Report per-suite wall-clock attribution on stderr (stdout stays
     /// byte-identical, so the golden-output guarantee is unaffected).
     timings: bool,
+    /// `--store PATH`: append this invocation's results to a run store
+    /// (and the default store `runs`/`diff` read from).
+    store: Option<PathBuf>,
+    /// The two run refs following the `diff` command.
+    diff_refs: Vec<String>,
+    /// `--timing-band PCT`: the allowed slowdown before `diff` fails on
+    /// timing (requires `diff`; `None` disables the timing check).
+    timing_band: Option<f64>,
 }
 
 /// Outcome of argument parsing: a run to perform, or an informational
@@ -113,8 +135,13 @@ fn parse_args() -> Result<Parsed, String> {
         axes: Vec::new(),
         check: false,
         timings: false,
+        store: None,
+        diff_refs: Vec::new(),
+        timing_band: None,
     };
     let mut args = env::args().skip(1);
+    // Bare words right after `diff` are run refs, not subcommands.
+    let mut pending_diff_refs = 0usize;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--scale" => {
@@ -163,13 +190,33 @@ fn parse_args() -> Result<Parsed, String> {
             }
             "--check" => cli.check = true,
             "--timings" => cli.timings = true,
+            "--store" => {
+                let v = args.next().ok_or("--store needs a file path")?;
+                cli.store = Some(PathBuf::from(v));
+            }
+            "--timing-band" => {
+                let v = args.next().ok_or("--timing-band needs a percentage")?;
+                let pct: f64 = v.parse().map_err(|_| format!("bad timing band: {v}"))?;
+                if !pct.is_finite() || pct < 0.0 {
+                    return Err(format!("--timing-band must be a non-negative percent; got {v}"));
+                }
+                cli.timing_band = Some(pct);
+            }
             "--help" | "-h" => return Ok(Parsed::Help),
             cmd if !cmd.starts_with('-') => {
+                if pending_diff_refs > 0 {
+                    pending_diff_refs -= 1;
+                    cli.diff_refs.push(cmd.to_string());
+                    continue;
+                }
                 if !COMMANDS.contains(&cmd) {
                     return Err(format!(
                         "unknown command: {cmd} (commands: {})",
                         COMMANDS.join(" ")
                     ));
+                }
+                if cmd == "diff" {
+                    pending_diff_refs = 2;
                 }
                 cli.commands.push(cmd.to_string());
             }
@@ -182,7 +229,118 @@ fn parse_args() -> Result<Parsed, String> {
     if !cli.axes.is_empty() && !cli.commands.iter().any(|c| c == "sweep") {
         return Err("--axis configures the sweep grid; add the sweep command".into());
     }
+    // `runs` and `diff` read the store instead of simulating; mixing them
+    // with exhibit commands would conflate two output documents.
+    let store_command = cli.commands.iter().any(|c| c == "runs" || c == "diff");
+    if store_command && cli.commands.len() > 1 {
+        return Err("runs/diff read recorded results and cannot be combined \
+                    with other commands"
+            .into());
+    }
+    if cli.commands.iter().any(|c| c == "diff") && cli.diff_refs.len() != 2 {
+        return Err("diff needs two run refs: diff RUN_A RUN_B \
+                    (a run ref is N, latest, or PATH:REF)"
+            .into());
+    }
+    if cli.timing_band.is_some() && !cli.commands.iter().any(|c| c == "diff") {
+        return Err("--timing-band only applies to diff".into());
+    }
+    if cli.commands.iter().any(|c| c == "runs") && cli.store.is_none() {
+        return Err("runs needs --store PATH".into());
+    }
     Ok(Parsed::Run(cli))
+}
+
+/// Resolves a run ref (`N`, `latest`, or `PATH:REF`) to a store and a
+/// position; refs without an embedded path fall back to `--store`.
+fn parse_run_ref(raw: &str, default_store: Option<&PathBuf>) -> Result<(RunStore, RunRef), String> {
+    if let Some(rf) = RunRef::parse(raw) {
+        let store = default_store
+            .ok_or_else(|| format!("run ref {raw:?} has no store; pass --store PATH"))?;
+        return Ok((RunStore::open(store), rf));
+    }
+    if let Some((path, rest)) = raw.rsplit_once(':') {
+        if let (false, Some(rf)) = (path.is_empty(), RunRef::parse(rest)) {
+            return Ok((RunStore::open(PathBuf::from(path)), rf));
+        }
+    }
+    Err(format!("bad run ref {raw:?} (want N, latest, or PATH:REF)"))
+}
+
+/// `jetty-repro runs`: renders a listing of the store's intact records and
+/// warns (stderr) about a damaged tail, if any.
+fn run_list(cli: &Cli) -> Result<ResultSet, String> {
+    let store = RunStore::open(cli.store.as_ref().expect("validated in parse_args"));
+    let scan = store.scan()?;
+    if let Some(damage) = &scan.damage {
+        eprintln!(
+            "[store] damaged tail at byte {} of {}: {} ({} intact runs kept)",
+            damage.offset,
+            store.path().display(),
+            damage.reason,
+            scan.records.len()
+        );
+    }
+    let mut table = TableData::new("runs", format!("run store: {}", store.path().display()));
+    table.headers([
+        "run",
+        "recorded (unix)",
+        "git rev",
+        "command",
+        "options",
+        "timing (ms)",
+        "tables",
+        "cells",
+    ]);
+    for record in &scan.records {
+        let m = &record.meta;
+        table.row([
+            Cell::Count(m.seq),
+            Cell::Count(m.unix_time),
+            Cell::label(m.git_rev.clone()),
+            Cell::label(m.command.clone()),
+            Cell::label(m.options.clone()),
+            Cell::Count(m.timing_ms),
+            Cell::Count(record.results.len() as u64),
+            Cell::Count(record.cell_count()),
+        ]);
+    }
+    let mut set = ResultSet::new();
+    set.push(table);
+    Ok(set)
+}
+
+/// `jetty-repro diff A B`: compares two recorded runs; `Ok(false)` means
+/// the comparison ran but found drift or a timing regression (the CI
+/// gate's failure signal).
+fn run_diff(cli: &Cli) -> Result<(ResultSet, bool), String> {
+    let (store_a, ref_a) = parse_run_ref(&cli.diff_refs[0], cli.store.as_ref())?;
+    let (store_b, ref_b) = parse_run_ref(&cli.diff_refs[1], cli.store.as_ref())?;
+    let resolve = |store: &RunStore, rf: RunRef| -> Result<jetty_experiments::RunRecord, String> {
+        let scan = store.scan()?;
+        if let Some(damage) = &scan.damage {
+            eprintln!(
+                "[store] damaged tail at byte {} of {}: {}",
+                damage.offset,
+                store.path().display(),
+                damage.reason
+            );
+        }
+        store.resolve(&scan, rf).cloned()
+    };
+    let a = resolve(&store_a, ref_a)?;
+    let b = resolve(&store_b, ref_b)?;
+    let report = diff_runs(&a, &b, DiffOptions { timing_band_pct: cli.timing_band });
+    eprintln!(
+        "[diff] {} vs {}: {} ({} drift entries over {} cells)",
+        report.a.label(),
+        report.b.label(),
+        report.verdict(),
+        report.entries.len(),
+        report.cells_compared
+    );
+    let clean = report.is_clean();
+    Ok((report.to_result_set(), clean))
 }
 
 /// Commands that need a full 4-way suite run.
@@ -201,6 +359,31 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    // The store commands read recorded results instead of simulating:
+    // render and exit here. `diff` exits nonzero on drift or an
+    // out-of-band timing — that exit code *is* the CI regression gate.
+    if cli.commands.iter().any(|c| c == "runs" || c == "diff") {
+        let outcome = if cli.commands[0] == "runs" {
+            run_list(&cli).map(|set| (set, true))
+        } else {
+            run_diff(&cli)
+        };
+        return match outcome {
+            Ok((set, clean)) => {
+                print!("{}", cli.format.renderer().render_set(&set));
+                if clean {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
 
     let wants = |cmd: &str| cli.commands.iter().any(|c| c == cmd || c == "all");
     // `protocols` and `sweep` extend the reproduction beyond the paper's
@@ -281,6 +464,9 @@ fn main() -> ExitCode {
         }
     };
 
+    // Suite-simulation wall-clock of this invocation: what `--store`
+    // records as `timing_ms` and `diff --timing-band` later compares.
+    let mut suite_elapsed_ms: u64 = 0;
     if !prefetch.is_empty() {
         let started = Instant::now();
         let suites = engine.run_suites(&prefetch);
@@ -300,6 +486,7 @@ fn main() -> ExitCode {
             engine.threads(),
             started.elapsed().as_secs_f64()
         );
+        suite_elapsed_ms = started.elapsed().as_millis() as u64;
         report_timings(&engine);
     }
 
@@ -404,6 +591,44 @@ fn main() -> ExitCode {
                 fs::write(dir.join(format!("{}.csv", table.id)), csv.render_table(table))
             }) {
                 eprintln!("warning: failed to write {}.csv: {e}", table.id);
+            }
+        }
+    }
+
+    // Persist the rendered results (exact typed cells, not the text) in
+    // the run store. `JETTY_STORE_NOW` / `JETTY_GIT_REV` /
+    // `JETTY_STORE_TIMING_MS` pin the non-deterministic metadata for
+    // golden tests and the committed CI reference record.
+    if let Some(path) = &cli.store {
+        let timing_ms = env::var("JETTY_STORE_TIMING_MS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .unwrap_or(suite_elapsed_ms);
+        let info = RunInfo {
+            unix_time: store::unix_time_now(),
+            git_rev: store::git_rev(),
+            command: cli.commands.join(" "),
+            options: base_options.id(),
+            timing_ms,
+        };
+        match RunStore::open(path).append(&info, &set) {
+            Ok(outcome) => {
+                if let Some(damage) = &outcome.recovered {
+                    eprintln!(
+                        "[store] discarded damaged tail at byte {}: {}",
+                        damage.offset, damage.reason
+                    );
+                }
+                eprintln!(
+                    "[store] recorded run #{} ({}) in {}",
+                    outcome.seq,
+                    info.options,
+                    path.display()
+                );
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
             }
         }
     }

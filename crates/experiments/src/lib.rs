@@ -20,6 +20,8 @@
 //! jetty-repro ablation       # IJ index-overlap + HJ allocation-policy studies
 //! jetty-repro protocols      # MOESI/MESI/MSI coverage + energy sweep
 //! jetty-repro sweep          # declarative multi-axis scenario grid
+//! jetty-repro runs           # list a run store's recorded invocations
+//! jetty-repro diff A B       # cell-level comparison of two recorded runs
 //! ```
 //!
 //! (`protocols` and `sweep` are extensions beyond the paper's exhibits and
@@ -44,7 +46,13 @@
 //!   over `(profile, options)` simulation jobs with a cache keyed by
 //!   [`RunOptions`], so independent suites run concurrently and no
 //!   identical suite is simulated twice. The [`sweep`] module expands a
-//!   declarative [`sweep::SweepGrid`] into those cache keys.
+//!   declarative [`sweep::SweepGrid`] into those cache keys;
+//! * the [`store`] module persists finished result sets — an append-only,
+//!   checksummed, single-file run store keyed by git revision and
+//!   [`RunOptions::id`] — and [`store::diff`] compares any two recorded
+//!   runs cell-by-cell (`--store PATH` to record, `jetty-repro diff` /
+//!   `runs` to compare and list), which is what the CI regression gate
+//!   runs on.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -55,6 +63,7 @@ pub mod figures;
 pub mod protocols;
 pub mod results;
 pub mod runner;
+pub mod store;
 pub mod sweep;
 pub mod tables;
 
@@ -62,4 +71,6 @@ pub use engine::{Engine, EngineStats, SuiteCache};
 pub use results::render::{Format, Renderer};
 pub use results::{Cell, ResultSet, TableData};
 pub use runner::{average, run_app, run_suite, AppRun, RunOptions};
+pub use store::diff::{diff_runs, DiffOptions, DiffReport};
+pub use store::{RunInfo, RunRecord, RunRef, RunStore};
 pub use sweep::{Axis, SweepGrid};

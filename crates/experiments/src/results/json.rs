@@ -18,6 +18,10 @@ pub enum Json {
     Bool(bool),
     /// A number written without fraction or exponent, kept exact.
     Int(i64),
+    /// A non-negative integer too large for [`Json::Int`] (above
+    /// `i64::MAX`), kept exact — full-range `u64` counts and run-store
+    /// metadata must survive a parse round trip bit-for-bit.
+    UInt(u64),
     /// Any other number.
     Num(f64),
     /// A string (escapes resolved).
@@ -51,6 +55,7 @@ impl Json {
         match self {
             Json::Num(x) => Some(*x),
             Json::Int(n) => Some(*n as f64),
+            Json::UInt(n) => Some(*n as f64),
             _ => None,
         }
     }
@@ -59,6 +64,7 @@ impl Json {
     pub fn as_u64(&self) -> Option<u64> {
         match self {
             Json::Int(n) => u64::try_from(*n).ok(),
+            Json::UInt(n) => Some(*n),
             _ => None,
         }
     }
@@ -313,6 +319,11 @@ impl Parser<'_> {
             if let Ok(n) = token.parse::<i64>() {
                 return Ok(Json::Int(n));
             }
+            // Non-negative integers in (i64::MAX, u64::MAX] stay exact
+            // rather than degrading to a lossy f64.
+            if let Ok(n) = token.parse::<u64>() {
+                return Ok(Json::UInt(n));
+            }
         }
         token.parse::<f64>().map(Json::Num).map_err(|_| format!("bad number {token:?}"))
     }
@@ -329,6 +340,8 @@ mod tests {
         assert_eq!(Json::parse("false"), Ok(Json::Bool(false)));
         assert_eq!(Json::parse("42"), Ok(Json::Int(42)));
         assert_eq!(Json::parse("-7"), Ok(Json::Int(-7)));
+        assert_eq!(Json::parse("18446744073709551615"), Ok(Json::UInt(u64::MAX)));
+        assert_eq!(Json::parse("18446744073709551615").unwrap().as_u64(), Some(u64::MAX));
         assert_eq!(Json::parse("0.5"), Ok(Json::Num(0.5)));
         assert_eq!(Json::parse("1e3"), Ok(Json::Num(1000.0)));
         assert_eq!(Json::parse(r#""hi""#), Ok(Json::Str("hi".into())));

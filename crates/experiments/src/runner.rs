@@ -83,6 +83,31 @@ impl RunOptions {
         self
     }
 
+    /// Stable machine-readable identity string, e.g.
+    /// `cpus4-scale0.02-sb-moesi-paperbank22`. Every field that changes
+    /// simulation output is encoded (the same fields the cache key
+    /// hashes), with filter banks named by their [`FilterSpec::id`]s —
+    /// the paper's 22-entry bank collapses to `paperbank22`. The run
+    /// store records this so `jetty-repro diff` can tell configuration
+    /// changes from output drift.
+    pub fn id(&self) -> String {
+        let bank = if self.specs == FilterSpec::paper_bank() {
+            "paperbank22".to_owned()
+        } else if self.specs.is_empty() {
+            "nobank".to_owned()
+        } else {
+            self.specs.iter().map(|s| s.id()).collect::<Vec<_>>().join("+")
+        };
+        format!(
+            "cpus{}-scale{}-{}-{}{}-{bank}",
+            self.cpus,
+            self.scale,
+            if self.non_subblocked { "nsb" } else { "sb" },
+            self.protocol.to_string().to_ascii_lowercase(),
+            if self.check { "-check" } else { "" },
+        )
+    }
+
     /// Compact one-line description for logs and `--timings` lines, e.g.
     /// `cpus=4 scale=1 nsb=false check=false proto=MOESI bank=22`.
     pub fn describe(&self) -> String {
@@ -302,6 +327,31 @@ mod tests {
             h(&base.clone().with_protocol(ProtocolKind::Msi)),
             "protocol must reach the cache key hash"
         );
+    }
+
+    #[test]
+    fn run_options_id_is_stable_and_field_complete() {
+        assert_eq!(RunOptions::paper().id(), "cpus4-scale1-sb-moesi-paperbank22");
+        assert_eq!(
+            RunOptions::paper().with_scale(0.02).id(),
+            "cpus4-scale0.02-sb-moesi-paperbank22"
+        );
+        let base = quick_options();
+        assert_eq!(base.id(), "cpus4-scale0.01-sb-moesi-ej-8x2+ij-6x5x6");
+        let mut checked = base.clone();
+        checked.check = true;
+        let variants = [
+            base.clone().with_cpus(8),
+            base.clone().with_scale(0.5),
+            base.clone().with_non_subblocked(true),
+            base.clone().with_protocol(ProtocolKind::Msi),
+            base.clone().with_specs(vec![FilterSpec::exclude(8, 2)]),
+            checked,
+        ];
+        for variant in &variants {
+            assert_ne!(base.id(), variant.id(), "{}", variant.describe());
+        }
+        assert_eq!(RunOptions::paper().with_specs(Vec::new()).id(), "cpus4-scale1-sb-moesi-nobank");
     }
 
     #[test]

@@ -1,0 +1,518 @@
+//! Cell-level comparison of two recorded runs.
+//!
+//! [`diff_runs`] walks the typed table trees of two [`RunRecord`]s and
+//! reports every difference with exact coordinates — table id, 1-based
+//! row, column name — rather than a textual diff, because the store keeps
+//! the typed [`Cell`]s, not their rendering. Output values are compared
+//! **exactly** (the simulator is deterministic; any cell change is drift
+//! by definition), while the run-level suite timing is compared through
+//! an optional tolerance band (`--timing-band PCT`), since wall-clock is
+//! never exactly reproducible. The report converts to a [`ResultSet`] so
+//! the ordinary text/JSON/CSV renderers present it — the CI regression
+//! gate is just `jetty-repro diff` + a non-zero exit on drift or an
+//! out-of-band timing.
+
+use crate::results::{Cell, ResultSet, TableData};
+
+use super::{RunMeta, RunRecord};
+
+/// Knobs for [`diff_runs`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DiffOptions {
+    /// Allowed timing growth from run A to run B, in percent. `None`
+    /// disables the timing check entirely; `Some(10.0)` fails runs more
+    /// than 10% slower than their baseline. Only slowdowns regress —
+    /// getting faster is never an error.
+    pub timing_band_pct: Option<f64>,
+}
+
+/// What kind of difference a [`DiffEntry`] describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiffKind {
+    /// A cell holds a different value.
+    Cell,
+    /// Run metadata differs (command or options id) — the runs were not
+    /// produced by equivalent invocations.
+    Metadata,
+    /// A table exists only in run A.
+    TableOnlyInA,
+    /// A table exists only in run B.
+    TableOnlyInB,
+    /// A table's title changed.
+    Title,
+    /// A table's column headers changed.
+    Columns,
+    /// A table's row count changed.
+    RowCount,
+    /// A row's cell count changed (ragged data from a damaged or foreign
+    /// record).
+    RowWidth,
+}
+
+impl DiffKind {
+    /// Short lower-case tag used in the rendered drift table.
+    pub fn tag(self) -> &'static str {
+        match self {
+            DiffKind::Cell => "cell",
+            DiffKind::Metadata => "metadata",
+            DiffKind::TableOnlyInA => "only-in-a",
+            DiffKind::TableOnlyInB => "only-in-b",
+            DiffKind::Title => "title",
+            DiffKind::Columns => "columns",
+            DiffKind::RowCount => "row-count",
+            DiffKind::RowWidth => "row-width",
+        }
+    }
+}
+
+/// One reported difference, with the exact coordinates where it lives.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiffEntry {
+    /// What changed.
+    pub kind: DiffKind,
+    /// Table id (or `(run)` for metadata-level differences).
+    pub table: String,
+    /// 1-based row number, when the difference is row-scoped.
+    pub row: Option<usize>,
+    /// Column name (or index as text when headers are missing), when the
+    /// difference is cell-scoped.
+    pub column: Option<String>,
+    /// The value in run A.
+    pub a: String,
+    /// The value in run B.
+    pub b: String,
+}
+
+impl DiffEntry {
+    /// `table[:row][:column]` — the coordinate string shown in reports.
+    pub fn location(&self) -> String {
+        let mut loc = self.table.clone();
+        if let Some(row) = self.row {
+            loc.push_str(&format!(":row {row}"));
+        }
+        if let Some(column) = &self.column {
+            loc.push_str(&format!(":{column}"));
+        }
+        loc
+    }
+}
+
+/// The full outcome of comparing two runs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiffReport {
+    /// Metadata of run A (the baseline).
+    pub a: RunMeta,
+    /// Metadata of run B (the candidate).
+    pub b: RunMeta,
+    /// Every difference found, in table order.
+    pub entries: Vec<DiffEntry>,
+    /// How many cell pairs were compared exactly.
+    pub cells_compared: u64,
+    /// The timing band the comparison ran with.
+    pub options: DiffOptions,
+}
+
+impl DiffReport {
+    /// `true` when any output difference was found (timing excluded).
+    pub fn has_drift(&self) -> bool {
+        !self.entries.is_empty()
+    }
+
+    /// B's suite timing as a multiple of A's (`1.0` = identical;
+    /// `None` when A recorded no timing to compare against).
+    pub fn timing_ratio(&self) -> Option<f64> {
+        if self.a.timing_ms == 0 {
+            return None;
+        }
+        Some(self.b.timing_ms as f64 / self.a.timing_ms as f64)
+    }
+
+    /// `true` when a timing band is set and run B exceeded it.
+    pub fn timing_regressed(&self) -> bool {
+        match (self.options.timing_band_pct, self.timing_ratio()) {
+            (Some(band), Some(ratio)) => ratio > 1.0 + band / 100.0,
+            _ => false,
+        }
+    }
+
+    /// `true` when the comparison found neither drift nor a timing
+    /// regression — the CI gate's pass condition.
+    pub fn is_clean(&self) -> bool {
+        !self.has_drift() && !self.timing_regressed()
+    }
+
+    /// One-word outcome: `clean`, `drift`, `timing-regression`, or
+    /// `drift+timing-regression`.
+    pub fn verdict(&self) -> &'static str {
+        match (self.has_drift(), self.timing_regressed()) {
+            (false, false) => "clean",
+            (true, false) => "drift",
+            (false, true) => "timing-regression",
+            (true, true) => "drift+timing-regression",
+        }
+    }
+
+    /// Renders the report as tables for the ordinary [`Renderer`]s
+    /// (text/JSON/CSV): a run-summary table, the drift table (one row per
+    /// difference, empty when clean), and a verdict table.
+    ///
+    /// [`Renderer`]: crate::results::render::Renderer
+    pub fn to_result_set(&self) -> ResultSet {
+        let mut set = ResultSet::new();
+
+        let mut summary = TableData::new("diff_summary", "run comparison");
+        summary.headers(["field", "run A", "run B"]);
+        let pair = |field: &str, a: String, b: String| {
+            [Cell::label(field), Cell::text_cell(a), Cell::text_cell(b)]
+        };
+        summary.row(pair("run", self.a.label(), self.b.label()));
+        summary.row(pair("command", self.a.command.clone(), self.b.command.clone()));
+        summary.row(pair("options", self.a.options.clone(), self.b.options.clone()));
+        summary.row([
+            Cell::label("recorded (unix)"),
+            Cell::Count(self.a.unix_time),
+            Cell::Count(self.b.unix_time),
+        ]);
+        summary.row([
+            Cell::label("suite timing (ms)"),
+            Cell::Count(self.a.timing_ms),
+            Cell::Count(self.b.timing_ms),
+        ]);
+        set.push(summary);
+
+        let mut drift = TableData::new("diff_drift", "drift");
+        drift.headers(["table", "row", "column", "run A", "run B", "kind"]);
+        for entry in &self.entries {
+            drift.row([
+                Cell::label(entry.table.clone()),
+                entry.row.map_or(Cell::Empty, |r| Cell::Count(r as u64)),
+                entry.column.clone().map_or(Cell::Empty, Cell::label),
+                Cell::text_cell(entry.a.clone()),
+                Cell::text_cell(entry.b.clone()),
+                Cell::label(entry.kind.tag()),
+            ]);
+        }
+        set.push(drift);
+
+        let mut verdict = TableData::new("diff_verdict", "verdict");
+        verdict.headers(["metric", "value"]);
+        verdict.row([Cell::label("cells compared"), Cell::Count(self.cells_compared)]);
+        verdict.row([Cell::label("drift entries"), Cell::Count(self.entries.len() as u64)]);
+        verdict.row([
+            Cell::label("timing ratio (B/A)"),
+            self.timing_ratio().map_or(Cell::text_cell("n/a"), |r| Cell::Fixed { value: r, dp: 3 }),
+        ]);
+        verdict.row([
+            Cell::label("timing band"),
+            self.options
+                .timing_band_pct
+                .map_or(Cell::text_cell("off"), |b| Cell::text_cell(format!("{b}%"))),
+        ]);
+        verdict.row([Cell::label("verdict"), Cell::label(self.verdict())]);
+        set.push(verdict);
+
+        set
+    }
+}
+
+/// How a cell is shown in the drift table: its historical text rendering,
+/// unless two *different* cells render to the same text (a sub-0.1%
+/// ratio change, say) — then the unambiguous JSON encoding is shown.
+fn cell_repr(cell: &Cell, other: &Cell) -> String {
+    let text = cell.text();
+    if text == other.text() && cell != other {
+        let mut json = String::new();
+        cell.write_json(&mut json);
+        return json;
+    }
+    if text.is_empty() {
+        "(empty)".to_owned()
+    } else {
+        text
+    }
+}
+
+/// Compares two recorded runs cell-by-cell. Every difference in the
+/// result tables (and in the runs' command/options identity) becomes a
+/// [`DiffEntry`] with exact coordinates; run timing is judged separately
+/// against [`DiffOptions::timing_band_pct`].
+pub fn diff_runs(a: &RunRecord, b: &RunRecord, options: DiffOptions) -> DiffReport {
+    let mut entries = Vec::new();
+    let mut cells_compared: u64 = 0;
+
+    let meta_entry = |field: &str, av: &str, bv: &str| DiffEntry {
+        kind: DiffKind::Metadata,
+        table: "(run)".to_owned(),
+        row: None,
+        column: Some(field.to_owned()),
+        a: av.to_owned(),
+        b: bv.to_owned(),
+    };
+    if a.meta.command != b.meta.command {
+        entries.push(meta_entry("command", &a.meta.command, &b.meta.command));
+    }
+    if a.meta.options != b.meta.options {
+        entries.push(meta_entry("options", &a.meta.options, &b.meta.options));
+    }
+
+    for ta in &a.results.tables {
+        let Some(tb) = b.results.tables.iter().find(|t| t.id == ta.id) else {
+            entries.push(DiffEntry {
+                kind: DiffKind::TableOnlyInA,
+                table: ta.id.clone(),
+                row: None,
+                column: None,
+                a: ta.title.clone(),
+                b: "(absent)".to_owned(),
+            });
+            continue;
+        };
+        diff_tables(ta, tb, &mut entries, &mut cells_compared);
+    }
+    for tb in &b.results.tables {
+        if !a.results.tables.iter().any(|t| t.id == tb.id) {
+            entries.push(DiffEntry {
+                kind: DiffKind::TableOnlyInB,
+                table: tb.id.clone(),
+                row: None,
+                column: None,
+                a: "(absent)".to_owned(),
+                b: tb.title.clone(),
+            });
+        }
+    }
+
+    DiffReport { a: a.meta.clone(), b: b.meta.clone(), entries, cells_compared, options }
+}
+
+/// Compares two same-id tables, appending entries for every difference.
+fn diff_tables(
+    a: &TableData,
+    b: &TableData,
+    entries: &mut Vec<DiffEntry>,
+    cells_compared: &mut u64,
+) {
+    let push = |entries: &mut Vec<DiffEntry>, kind, row, column, av: String, bv: String| {
+        entries.push(DiffEntry { kind, table: a.id.clone(), row, column, a: av, b: bv });
+    };
+    if a.title != b.title {
+        push(entries, DiffKind::Title, None, None, a.title.clone(), b.title.clone());
+    }
+    if a.columns != b.columns {
+        push(entries, DiffKind::Columns, None, None, a.columns.join("|"), b.columns.join("|"));
+    }
+    if a.rows.len() != b.rows.len() {
+        push(
+            entries,
+            DiffKind::RowCount,
+            None,
+            None,
+            format!("{} rows", a.rows.len()),
+            format!("{} rows", b.rows.len()),
+        );
+    }
+    // Cell-compare the rows both runs have; extra rows are already
+    // reported by the row-count entry above.
+    for (i, (ra, rb)) in a.rows.iter().zip(&b.rows).enumerate() {
+        let row = Some(i + 1);
+        if ra.len() != rb.len() {
+            push(
+                entries,
+                DiffKind::RowWidth,
+                row,
+                None,
+                format!("{} cells", ra.len()),
+                format!("{} cells", rb.len()),
+            );
+        }
+        for (j, (ca, cb)) in ra.iter().zip(rb).enumerate() {
+            *cells_compared += 1;
+            if ca != cb {
+                let column =
+                    a.columns.get(j).cloned().unwrap_or_else(|| format!("column {}", j + 1));
+                push(
+                    entries,
+                    DiffKind::Cell,
+                    row,
+                    Some(column),
+                    cell_repr(ca, cb),
+                    cell_repr(cb, ca),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{RunMeta, RECORD_SCHEMA_VERSION};
+    use super::*;
+
+    fn meta(seq: u64, timing_ms: u64) -> RunMeta {
+        RunMeta {
+            seq,
+            schema: RECORD_SCHEMA_VERSION,
+            unix_time: 100 + seq,
+            git_rev: "abc123".into(),
+            command: "all".into(),
+            options: "cpus4-scale0.02".into(),
+            timing_ms,
+        }
+    }
+
+    fn sample_run(seq: u64, timing_ms: u64) -> RunRecord {
+        let mut t = TableData::new("table2", "Table 2: coverage");
+        t.headers(["app", "coverage", "snoops"]);
+        t.row([Cell::label("ba"), Cell::Ratio(0.471), Cell::Millions(47_100_000)]);
+        t.row([Cell::label("fft"), Cell::Ratio(0.03), Cell::Millions(1_000_000)]);
+        let mut u = TableData::new("fig6", "Figure 6: energy");
+        u.headers(["app", "energy"]);
+        u.row([Cell::label("ba"), Cell::EnergyUj(12.34)]);
+        let mut results = ResultSet::new();
+        results.push(t);
+        results.push(u);
+        RunRecord { meta: meta(seq, timing_ms), results }
+    }
+
+    #[test]
+    fn identical_runs_diff_clean() {
+        let a = sample_run(1, 1000);
+        let b = sample_run(2, 1000);
+        let report = diff_runs(&a, &b, DiffOptions { timing_band_pct: Some(10.0) });
+        assert!(report.entries.is_empty());
+        assert!(report.is_clean());
+        assert_eq!(report.verdict(), "clean");
+        assert_eq!(report.cells_compared, 8);
+    }
+
+    #[test]
+    fn injected_cell_drift_names_table_row_and_column() {
+        let a = sample_run(1, 1000);
+        let mut b = sample_run(2, 1000);
+        b.results.tables[0].rows[1][1] = Cell::Ratio(0.9);
+        let report = diff_runs(&a, &b, DiffOptions::default());
+        assert_eq!(report.entries.len(), 1);
+        let entry = &report.entries[0];
+        assert_eq!(entry.kind, DiffKind::Cell);
+        assert_eq!(entry.table, "table2");
+        assert_eq!(entry.row, Some(2), "row coordinates are 1-based");
+        assert_eq!(entry.column.as_deref(), Some("coverage"));
+        assert_eq!((entry.a.as_str(), entry.b.as_str()), ("3.0%", "90.0%"));
+        assert_eq!(entry.location(), "table2:row 2:coverage");
+        assert_eq!(report.verdict(), "drift");
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn sub_rendering_drift_falls_back_to_json_repr() {
+        // Both cells render "47.1%" — the drift must still be visible.
+        let a = sample_run(1, 0);
+        let mut b = sample_run(2, 0);
+        b.results.tables[0].rows[0][1] = Cell::Ratio(0.47100001);
+        let report = diff_runs(&a, &b, DiffOptions::default());
+        assert_eq!(report.entries.len(), 1);
+        assert_eq!(report.entries[0].a, r#"{"kind":"ratio","value":0.471}"#);
+        assert_eq!(report.entries[0].b, r#"{"kind":"ratio","value":0.47100001}"#);
+    }
+
+    #[test]
+    fn structural_differences_are_reported_per_kind() {
+        let a = sample_run(1, 0);
+        let mut b = sample_run(2, 0);
+        b.results.tables[0].title = "Table 2: renamed".into();
+        b.results.tables[0].columns[2] = "probes".into();
+        b.results.tables[0].rows.pop();
+        b.results.tables.remove(1);
+        let mut extra = TableData::new("fig9", "Figure 9: new");
+        extra.headers(["x"]);
+        extra.row([Cell::Count(1)]);
+        b.results.push(extra);
+
+        let report = diff_runs(&a, &b, DiffOptions::default());
+        let kinds: Vec<DiffKind> = report.entries.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                DiffKind::Title,
+                DiffKind::Columns,
+                DiffKind::RowCount,
+                DiffKind::TableOnlyInA,
+                DiffKind::TableOnlyInB,
+            ]
+        );
+        let only_a = &report.entries[3];
+        assert_eq!((only_a.table.as_str(), only_a.b.as_str()), ("fig6", "(absent)"));
+    }
+
+    #[test]
+    fn metadata_mismatch_is_drift() {
+        let a = sample_run(1, 0);
+        let mut b = sample_run(2, 0);
+        b.meta.options = "cpus8-scale0.02".into();
+        let report = diff_runs(&a, &b, DiffOptions::default());
+        assert_eq!(report.entries.len(), 1);
+        assert_eq!(report.entries[0].kind, DiffKind::Metadata);
+        assert_eq!(report.entries[0].table, "(run)");
+        assert_eq!(report.entries[0].column.as_deref(), Some("options"));
+    }
+
+    #[test]
+    fn ragged_rows_from_foreign_records_are_row_width_not_panic() {
+        let a = sample_run(1, 0);
+        let mut b = sample_run(2, 0);
+        b.results.tables[0].rows[0].pop();
+        let report = diff_runs(&a, &b, DiffOptions::default());
+        assert_eq!(report.entries.len(), 1);
+        assert_eq!(report.entries[0].kind, DiffKind::RowWidth);
+        assert_eq!(report.entries[0].row, Some(1));
+    }
+
+    #[test]
+    fn timing_band_flags_only_out_of_band_slowdowns() {
+        let a = sample_run(1, 1000);
+        let within = RunRecord { meta: meta(2, 1099), results: a.results.clone() };
+        let outside = RunRecord { meta: meta(2, 1101), results: a.results.clone() };
+        let faster = RunRecord { meta: meta(2, 10), results: a.results.clone() };
+        let band = DiffOptions { timing_band_pct: Some(10.0) };
+
+        assert!(diff_runs(&a, &within, band).is_clean());
+        let bad = diff_runs(&a, &outside, band);
+        assert!(bad.timing_regressed());
+        assert!(!bad.has_drift(), "timing is banded, not drift");
+        assert_eq!(bad.verdict(), "timing-regression");
+        assert!(diff_runs(&a, &faster, band).is_clean(), "faster is never a regression");
+        assert!(
+            diff_runs(&a, &outside, DiffOptions::default()).is_clean(),
+            "no band, no timing check"
+        );
+    }
+
+    #[test]
+    fn zero_baseline_timing_never_regresses() {
+        let a = sample_run(1, 0);
+        let b = RunRecord { meta: meta(2, 99_999), results: a.results.clone() };
+        let report = diff_runs(&a, &b, DiffOptions { timing_band_pct: Some(10.0) });
+        assert_eq!(report.timing_ratio(), None);
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn report_renders_to_three_tables() {
+        let a = sample_run(1, 1000);
+        let mut b = sample_run(2, 1200);
+        b.results.tables[1].rows[0][1] = Cell::EnergyUj(99.9);
+        let report = diff_runs(&a, &b, DiffOptions { timing_band_pct: Some(10.0) });
+        let set = report.to_result_set();
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.tables[0].id, "diff_summary");
+        assert_eq!(set.tables[1].id, "diff_drift");
+        assert_eq!(set.tables[2].id, "diff_verdict");
+        assert_eq!(set.tables[1].rows.len(), 1);
+        let drift_row = &set.tables[1].rows[0];
+        assert_eq!(drift_row[0], Cell::label("fig6"));
+        assert_eq!(drift_row[1], Cell::Count(1));
+        assert_eq!(drift_row[2], Cell::label("energy"));
+        let verdict_row = set.tables[2].rows.last().unwrap();
+        assert_eq!(verdict_row[1], Cell::label("drift+timing-regression"));
+    }
+}

@@ -142,6 +142,8 @@ const EXPECTED_COMMANDS: &[&str] = &[
     "ablation",
     "protocols",
     "sweep",
+    "runs",
+    "diff",
 ];
 
 #[test]
@@ -266,6 +268,56 @@ fn sweep_is_not_part_of_all() {
     let out = repro(&["all", "--scale", "0.002", "--threads", "2"]);
     assert!(out.status.success());
     assert!(!String::from_utf8_lossy(&out.stdout).contains("== Sweep"));
+}
+
+#[test]
+fn store_commands_validate_their_arguments() {
+    for (args, needle) in [
+        // `diff` needs exactly two run refs.
+        (vec!["diff"], "diff needs two run refs"),
+        (vec!["diff", "1"], "diff needs two run refs"),
+        // A bad run ref names the accepted shapes.
+        (vec!["diff", "one", "two", "--store", "/tmp/x.store"], "bad run ref"),
+        // Refs without an embedded path need --store.
+        (vec!["diff", "1", "2"], "pass --store PATH"),
+        // `runs` always needs a store.
+        (vec!["runs"], "runs needs --store PATH"),
+        // Store commands are exclusive with simulation commands.
+        (vec!["runs", "table1", "--store", "/tmp/x.store"], "cannot be combined"),
+        (vec!["diff", "1", "2", "all", "--store", "/tmp/x.store"], "cannot be combined"),
+        // --timing-band and --store argument validation.
+        (vec!["table1", "--timing-band", "10"], "--timing-band only applies to diff"),
+        (vec!["diff", "1", "2", "--store", "/tmp/x.store", "--timing-band", "-3"], "non-negative"),
+        (
+            vec!["diff", "1", "2", "--store", "/tmp/x.store", "--timing-band", "ten"],
+            "bad timing band",
+        ),
+        (vec!["table1", "--store"], "--store needs a file path"),
+    ] {
+        let out = repro(&args);
+        assert!(!out.status.success(), "{args:?} must fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(needle), "{args:?}: {stderr}");
+        assert!(out.stdout.is_empty(), "{args:?}: no output before the error");
+    }
+}
+
+#[test]
+fn help_documents_the_store_surfaces() {
+    let out = repro(&["--help"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in ["--store", "--timing-band", "diff RUN_A RUN_B", "PATH:REF"] {
+        assert!(stdout.contains(needle), "help must document {needle}: {stdout}");
+    }
+}
+
+#[test]
+fn diff_on_a_missing_store_reports_not_found() {
+    let out = repro(&["diff", "1", "2", "--store", "/nonexistent/dir/x.store"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("run 1 not found"), "{stderr}");
 }
 
 #[test]

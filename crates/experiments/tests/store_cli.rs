@@ -1,0 +1,254 @@
+//! End-to-end tests of the run-store surfaces of `jetty-repro`:
+//! `--store` recording, `runs` listing, and `diff` — including the golden
+//! guard for the diff rendering and its determinism across thread counts.
+//!
+//! The store records wall-clock time, git revision, and suite timing,
+//! none of which is reproducible; the `JETTY_STORE_NOW`, `JETTY_GIT_REV`
+//! and `JETTY_STORE_TIMING_MS` environment overrides pin them, which is
+//! how both these tests and the committed CI reference record stay
+//! deterministic.
+//!
+//! Regenerate the golden diff transcript (only for an intentional output
+//! change) with:
+//!
+//! ```text
+//! S=$(mktemp -d)/ref.store
+//! for i in 1 2; do \
+//!   JETTY_STORE_NOW=0 JETTY_GIT_REV=reference JETTY_STORE_TIMING_MS=1000 \
+//!   target/release/jetty-repro all --scale 0.02 --threads 2 --store "$S" >/dev/null; done
+//! target/release/jetty-repro diff 1 2 --store "$S" --timing-band 10 \
+//!     > tests/golden/diff_scale002.txt
+//! ```
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+use jetty_experiments::store::{RunInfo, RunStore};
+use jetty_experiments::Cell;
+
+/// Env that pins every non-deterministic store metadata field.
+const PINNED: &[(&str, &str)] =
+    &[("JETTY_STORE_NOW", "0"), ("JETTY_GIT_REV", "reference"), ("JETTY_STORE_TIMING_MS", "1000")];
+
+fn repro(args: &[&str], envs: &[(&str, &str)]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_jetty-repro"))
+        .args(args)
+        .envs(envs.iter().copied())
+        .output()
+        .expect("failed to spawn jetty-repro")
+}
+
+fn tmp_store(name: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("jetty_store_cli_{}_{name}", std::process::id()));
+    let _ = fs::remove_file(&path);
+    path
+}
+
+/// Records `command` at `scale` into `store` with pinned metadata.
+fn record(store: &Path, command: &str, scale: &str, threads: &str) {
+    let out = repro(
+        &[command, "--scale", scale, "--threads", threads, "--store", store.to_str().unwrap()],
+        PINNED,
+    );
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("[store] recorded run #"),
+        "recording must be announced on stderr"
+    );
+}
+
+#[test]
+fn identical_runs_diff_clean_and_match_the_golden_transcript() {
+    let store = tmp_store("golden");
+    record(&store, "all", "0.02", "2");
+    record(&store, "all", "0.02", "2");
+
+    let out = repro(
+        &["diff", "1", "2", "--store", store.to_str().unwrap(), "--timing-band", "10"],
+        PINNED,
+    );
+    assert!(out.status.success(), "identical runs must diff clean");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("clean (0 drift entries"), "{stderr}");
+
+    let golden_path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/diff_scale002.txt");
+    let golden = fs::read(&golden_path).unwrap_or_else(|e| {
+        panic!("tests/golden/diff_scale002.txt unreadable ({e}) — see module docs")
+    });
+    if out.stdout != golden {
+        let actual = String::from_utf8_lossy(&out.stdout);
+        let expected = String::from_utf8_lossy(&golden);
+        for (k, (a, e)) in actual.lines().zip(expected.lines()).enumerate() {
+            assert_eq!(
+                a,
+                e,
+                "diff stdout diverges from tests/golden/diff_scale002.txt at line {} — \
+                 regenerate deliberately if the change is intentional (see module docs)",
+                k + 1
+            );
+        }
+        panic!("diff stdout length differs from the golden transcript");
+    }
+    let _ = fs::remove_file(&store);
+}
+
+#[test]
+fn recorded_results_and_diff_text_are_identical_across_thread_counts() {
+    // The engine's determinism guarantee extends through the store: a
+    // suite recorded on 1, 2 or 3 workers must produce byte-identical
+    // records (modulo the pinned metadata) and byte-identical diff text.
+    let stores: Vec<PathBuf> = ["1", "2", "3"]
+        .iter()
+        .map(|threads| {
+            let store = tmp_store(&format!("threads{threads}"));
+            record(&store, "table2", "0.005", threads);
+            store
+        })
+        .collect();
+
+    let mut diffs = Vec::new();
+    for other in &stores[1..] {
+        let out = repro(
+            &[
+                "diff",
+                &format!("{}:1", stores[0].to_str().unwrap()),
+                &format!("{}:1", other.to_str().unwrap()),
+            ],
+            &[],
+        );
+        assert!(
+            out.status.success(),
+            "thread count changed recorded results: {}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+        diffs.push(out.stdout);
+    }
+    assert_eq!(diffs[0], diffs[1], "diff text must be byte-identical across thread counts");
+    for store in &stores {
+        let _ = fs::remove_file(store);
+    }
+}
+
+#[test]
+fn injected_cell_drift_fails_the_diff_and_names_the_coordinates() {
+    let store_path = tmp_store("drift");
+    record(&store_path, "table2", "0.005", "2");
+
+    // Forge run #2: the same results with exactly one cell altered,
+    // appended through the library under the same recorded identity.
+    let store = RunStore::open(&store_path);
+    let scan = store.scan().unwrap();
+    let original = &scan.records[0];
+    let mut drifted = original.results.clone();
+    let table_id = drifted.tables[0].id.clone();
+    let column = drifted.tables[0].columns[1].clone();
+    drifted.tables[0].rows[2][1] = Cell::Count(123_456_789);
+    let meta = &original.meta;
+    store
+        .append(
+            &RunInfo {
+                unix_time: meta.unix_time,
+                git_rev: meta.git_rev.clone(),
+                command: meta.command.clone(),
+                options: meta.options.clone(),
+                timing_ms: meta.timing_ms,
+            },
+            &drifted,
+        )
+        .unwrap();
+
+    let out = repro(&["diff", "1", "2", "--store", store_path.to_str().unwrap()], &[]);
+    assert!(!out.status.success(), "injected drift must fail the diff (the CI gate signal)");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("drift (1 drift entries"), "{stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The drift table names the exact coordinates: table id, 1-based row,
+    // column name, and both values.
+    for needle in [table_id.as_str(), column.as_str(), "123456789", "cell"] {
+        assert!(stdout.contains(needle), "drift report must contain {needle:?}: {stdout}");
+    }
+    let drift_line = stdout
+        .lines()
+        .find(|l| l.contains("123456789"))
+        .expect("a drift row naming the injected value");
+    assert!(drift_line.contains(&table_id), "row must name the table: {drift_line}");
+    assert!(drift_line.contains(" 3 "), "row must carry the 1-based row number: {drift_line}");
+    assert!(drift_line.contains(&column), "row must name the column: {drift_line}");
+    let _ = fs::remove_file(&store_path);
+}
+
+#[test]
+fn timing_band_gates_the_exit_code() {
+    let store = tmp_store("timing");
+    let slow: Vec<(&str, &str)> = vec![
+        ("JETTY_STORE_NOW", "0"),
+        ("JETTY_GIT_REV", "reference"),
+        ("JETTY_STORE_TIMING_MS", "1200"),
+    ];
+    record(&store, "table1", "0.02", "1");
+    let out = repro(
+        &["table1", "--scale", "0.02", "--threads", "1", "--store", store.to_str().unwrap()],
+        &slow,
+    );
+    assert!(out.status.success());
+
+    // 20% slower: fails a 10% band, passes a 30% band, passes with no band.
+    let s = store.to_str().unwrap();
+    let banded = repro(&["diff", "1", "2", "--store", s, "--timing-band", "10"], &[]);
+    assert!(!banded.status.success(), "20% slowdown must fail a 10% band");
+    let stderr = String::from_utf8_lossy(&banded.stderr);
+    assert!(stderr.contains("timing-regression"), "{stderr}");
+    let stdout = String::from_utf8_lossy(&banded.stdout);
+    assert!(stdout.contains("1.200"), "verdict table must show the timing ratio: {stdout}");
+
+    let loose = repro(&["diff", "1", "2", "--store", s, "--timing-band", "30"], &[]);
+    assert!(loose.status.success(), "20% slowdown passes a 30% band");
+    let unbanded = repro(&["diff", "1", "2", "--store", s], &[]);
+    assert!(unbanded.status.success(), "no band, no timing gate");
+    let _ = fs::remove_file(&store);
+}
+
+#[test]
+fn runs_lists_every_recorded_invocation() {
+    let store = tmp_store("list");
+    record(&store, "table1", "0.02", "1");
+    record(&store, "protocols", "0.002", "2");
+
+    let out = repro(&["runs", "--store", store.to_str().unwrap()], &[]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("== run store:"), "{stdout}");
+    for needle in [
+        "table1",
+        "protocols",
+        "reference",
+        "cpus4-scale0.02-sb-moesi-paperbank22",
+        "cpus4-scale0.002-sb-moesi-paperbank22",
+    ] {
+        assert!(stdout.contains(needle), "runs listing must contain {needle:?}: {stdout}");
+    }
+    // `latest` resolves to run #2: diffing latest against 2 is clean and
+    // compares a run to itself.
+    let latest = repro(&["diff", "latest", "2", "--store", store.to_str().unwrap()], &[]);
+    assert!(latest.status.success());
+    assert!(String::from_utf8_lossy(&latest.stderr).contains("#2@reference vs #2@reference"));
+    let _ = fs::remove_file(&store);
+}
+
+#[test]
+fn diff_renders_through_the_json_renderer_too() {
+    let store = tmp_store("json");
+    record(&store, "table1", "0.02", "1");
+    record(&store, "table1", "0.02", "1");
+    let out =
+        repro(&["diff", "1", "2", "--store", store.to_str().unwrap(), "--format", "json"], &[]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.trim_start().starts_with('{'), "JSON document expected: {stdout}");
+    for id in ["diff_summary", "diff_drift", "diff_verdict"] {
+        assert!(stdout.contains(id), "JSON must carry table {id}: {stdout}");
+    }
+    let _ = fs::remove_file(&store);
+}

@@ -1,0 +1,290 @@
+//! Failure injection against the run store's crash-recovery contract.
+//!
+//! The store promises exactly one thing about damage: **no intact record
+//! is ever lost or silently altered by a damaged tail.** These tests earn
+//! that promise the hard way — they build a healthy store through the
+//! public API, then vandalize the file bytes directly (truncation at
+//! every possible offset, bit flips over the whole tail frame, torn
+//! appends, mid-file corruption) and assert that every scan still returns
+//! the intact prefix, reports (never panics on) the damage, and that the
+//! next append repairs the file without touching recorded history.
+
+use std::fs;
+use std::path::PathBuf;
+
+use jetty_experiments::store::{RunInfo, RunStore, ScanOutcome};
+use jetty_experiments::{Cell, ResultSet, TableData};
+
+const HEADER_LEN: usize = "JETTYSTORE 1\n".len();
+
+fn tmp(name: &str) -> PathBuf {
+    let path =
+        std::env::temp_dir().join(format!("jetty_store_failure_{}_{name}", std::process::id()));
+    let _ = fs::remove_file(&path);
+    path
+}
+
+/// A result set with enough texture (escaping-hostile labels, several
+/// cell kinds) that payload corruption has plenty of surface to hit.
+fn sample_set(tag: u64) -> ResultSet {
+    let mut t = TableData::new("table2", format!("Table 2 (variant {tag})"));
+    t.headers(["app", "coverage", "snoops", "note"]);
+    t.row([
+        Cell::label("ba"),
+        Cell::Ratio(0.471 + tag as f64 / 1000.0),
+        Cell::Millions(47_100_000 + tag),
+        Cell::text_cell("plain"),
+    ]);
+    t.row([
+        Cell::label("fft, \"quoted\""),
+        Cell::Ratio(0.03),
+        Cell::Millions(tag),
+        Cell::text_cell("commas, \"quotes\", unicodé 😀"),
+    ]);
+    let mut set = ResultSet::new();
+    set.push(t);
+    set
+}
+
+fn info(tag: u64) -> RunInfo {
+    RunInfo {
+        unix_time: 1_700_000_000 + tag,
+        git_rev: format!("rev{tag}"),
+        command: "all".into(),
+        options: "cpus4-scale0.02-sb-moesi-paperbank22".into(),
+        timing_ms: 1000 + tag,
+    }
+}
+
+/// Builds a store with `n` records and returns (store, healthy bytes,
+/// healthy scan).
+fn healthy_store(name: &str, n: u64) -> (RunStore, Vec<u8>, ScanOutcome) {
+    let path = tmp(name);
+    let store = RunStore::open(&path);
+    for tag in 1..=n {
+        let outcome = store.append(&info(tag), &sample_set(tag)).unwrap();
+        assert_eq!(outcome.seq, tag);
+        assert!(outcome.recovered.is_none());
+    }
+    let bytes = fs::read(&path).unwrap();
+    let scan = store.scan().unwrap();
+    assert_eq!(scan.records.len(), n as usize);
+    assert!(scan.damage.is_none());
+    assert_eq!(scan.intact_len, bytes.len() as u64);
+    (store, bytes, scan)
+}
+
+/// Byte offsets where each frame of the healthy file starts, derived from
+/// re-scanning successively longer prefixes (so the test does not trust
+/// any store-internal length bookkeeping).
+fn frame_starts(store: &RunStore, bytes: &[u8], records: usize) -> Vec<usize> {
+    let mut starts = Vec::new();
+    let mut seen = 0usize;
+    for cut in HEADER_LEN..=bytes.len() {
+        fs::write(store.path(), &bytes[..cut]).unwrap();
+        let scan = store.scan().unwrap();
+        if scan.records.len() > seen && scan.damage.is_none() {
+            // `cut` is the exact end of frame `seen + 1`.
+            seen = scan.records.len();
+            if starts.is_empty() {
+                starts.push(HEADER_LEN);
+            }
+            if seen < records {
+                starts.push(cut);
+            }
+        }
+    }
+    fs::write(store.path(), bytes).unwrap();
+    assert_eq!(starts.len(), records, "found a start for every frame");
+    starts
+}
+
+#[test]
+fn truncation_at_every_offset_keeps_all_complete_records() {
+    let (store, bytes, healthy) = healthy_store("truncate", 3);
+    let starts = frame_starts(&store, &bytes, 3);
+    // Frame boundaries: starts plus end-of-file.
+    let mut boundaries = starts.clone();
+    boundaries.push(bytes.len());
+
+    for cut in 0..bytes.len() {
+        fs::write(store.path(), &bytes[..cut]).unwrap();
+        let scan = store.scan().unwrap_or_else(|e| panic!("cut at {cut}: scan errored: {e}"));
+        // How many whole frames survive this cut?
+        let intact = boundaries.iter().skip(1).filter(|&&end| end <= cut).count();
+        assert_eq!(scan.records.len(), intact, "cut at byte {cut}");
+        // Every surviving record is byte-for-byte the original — never
+        // silently altered.
+        assert_eq!(scan.records[..], healthy.records[..intact], "cut at byte {cut}");
+        // A cut exactly on a frame boundary (or empty file) is a clean
+        // shorter store; anything else is reported damage.
+        let on_boundary = cut == 0 || boundaries.contains(&cut);
+        assert_eq!(scan.damage.is_none(), on_boundary, "cut at byte {cut}: {:?}", scan.damage);
+        if let Some(damage) = &scan.damage {
+            let expected_offset = if cut < HEADER_LEN { 0 } else { starts[intact] as u64 };
+            assert_eq!(damage.offset, expected_offset, "cut at byte {cut}");
+        }
+    }
+    let _ = fs::remove_file(store.path());
+}
+
+#[test]
+fn bit_flips_anywhere_in_the_tail_frame_are_detected() {
+    let (store, bytes, healthy) = healthy_store("bitflip", 3);
+    let starts = frame_starts(&store, &bytes, 3);
+    let tail_start = starts[2];
+
+    for pos in tail_start..bytes.len() {
+        for flip in [0x01u8, 0xff] {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= flip;
+            fs::write(store.path(), &corrupt).unwrap();
+            let scan = store
+                .scan()
+                .unwrap_or_else(|e| panic!("flip {flip:#04x} at {pos}: scan errored: {e}"));
+            // The two records before the tail are always intact and exact.
+            assert!(
+                scan.records.len() >= 2,
+                "flip {flip:#04x} at byte {pos} lost an intact record"
+            );
+            assert_eq!(scan.records[..2], healthy.records[..2], "flip {flip:#04x} at {pos}");
+            // The flipped tail must never be silently accepted as the
+            // original record: either it is reported as damage, or (for
+            // the astronomically unlikely case of a same-checksum
+            // mutation) it decodes to something different.
+            if let Some(damage) = &scan.damage {
+                assert_eq!(scan.records.len(), 2, "flip {flip:#04x} at {pos}");
+                assert_eq!(damage.offset, tail_start as u64);
+            } else {
+                assert_eq!(scan.records.len(), 3, "flip {flip:#04x} at {pos}");
+                assert_ne!(
+                    scan.records[2], healthy.records[2],
+                    "flip {flip:#04x} at byte {pos} was silently absorbed"
+                );
+            }
+        }
+    }
+    let _ = fs::remove_file(store.path());
+}
+
+#[test]
+fn torn_append_reports_damage_and_next_append_repairs() {
+    let (store, bytes, healthy) = healthy_store("torn", 2);
+    let two_records = bytes.len();
+
+    // A third append crashes partway: only half of the new frame reaches
+    // the disk.
+    store.append(&info(3), &sample_set(3)).unwrap();
+    let full = fs::read(store.path()).unwrap();
+    let torn_len = two_records + (full.len() - two_records) / 2;
+    fs::write(store.path(), &full[..torn_len]).unwrap();
+
+    let scan = store.scan().unwrap();
+    assert_eq!(scan.records[..], healthy.records[..], "prior records intact after torn append");
+    let damage = scan.damage.expect("torn append must be reported");
+    assert_eq!(damage.offset, two_records as u64);
+    assert!(
+        damage.reason.contains("torn append") || damage.reason.contains("truncated"),
+        "{}",
+        damage.reason
+    );
+    assert_eq!(scan.intact_len, two_records as u64);
+
+    // The next append discards the torn tail, reports the recovery, and
+    // writes a clean record #3.
+    let outcome = store.append(&info(4), &sample_set(4)).unwrap();
+    assert_eq!(outcome.seq, 3, "seq continues from the intact records");
+    let recovered = outcome.recovered.expect("append must report what it discarded");
+    assert_eq!(recovered.offset, two_records as u64);
+
+    let repaired = store.scan().unwrap();
+    assert!(repaired.damage.is_none(), "store is clean after recovery");
+    assert_eq!(repaired.records.len(), 3);
+    assert_eq!(repaired.records[..2], healthy.records[..], "history untouched by recovery");
+    assert_eq!(repaired.records[2].meta.git_rev, "rev4");
+    let _ = fs::remove_file(store.path());
+}
+
+#[test]
+fn append_after_tail_corruption_preserves_history() {
+    let (store, bytes, healthy) = healthy_store("appendflip", 3);
+    let starts = frame_starts(&store, &bytes, 3);
+
+    // Corrupt the checksum of the last record.
+    let mut corrupt = bytes.clone();
+    corrupt[starts[2] + "JREC 00000000 ".len()] ^= 0x04;
+    fs::write(store.path(), &corrupt).unwrap();
+
+    let outcome = store.append(&info(9), &sample_set(9)).unwrap();
+    assert_eq!(outcome.seq, 3, "damaged record 3 was discarded, its slot reused");
+    assert!(outcome.recovered.is_some());
+
+    let scan = store.scan().unwrap();
+    assert!(scan.damage.is_none());
+    assert_eq!(scan.records.len(), 3);
+    assert_eq!(scan.records[..2], healthy.records[..2]);
+    assert_eq!(scan.records[2].meta.unix_time, info(9).unix_time);
+    let _ = fs::remove_file(store.path());
+}
+
+#[test]
+fn mid_file_corruption_stops_the_scan_at_the_damage() {
+    // Corruption *before* the tail (real bit rot, not a crash) cannot be
+    // skipped: without a trustworthy frame length there is no safe resync
+    // point, so the contract is "every record before the damage, nothing
+    // after it" — still no panic, still an exact report.
+    let (store, bytes, healthy) = healthy_store("midfile", 3);
+    let starts = frame_starts(&store, &bytes, 3);
+
+    let mut corrupt = bytes.clone();
+    corrupt[starts[1] + 40] ^= 0xff; // inside record 2's payload
+    fs::write(store.path(), &corrupt).unwrap();
+
+    let scan = store.scan().unwrap();
+    assert_eq!(scan.records[..], healthy.records[..1]);
+    let damage = scan.damage.expect("mid-file corruption must be reported");
+    assert_eq!(damage.offset, starts[1] as u64);
+    let _ = fs::remove_file(store.path());
+}
+
+#[test]
+fn partial_header_is_recoverable_crash_debris() {
+    // A crash during store creation can leave any prefix of the header.
+    let path = tmp("partialheader");
+    let store = RunStore::open(&path);
+    for cut in 1.."JETTYSTORE 1\n".len() {
+        fs::write(&path, &b"JETTYSTORE 1\n"[..cut]).unwrap();
+        let scan = store.scan().unwrap();
+        assert!(scan.records.is_empty(), "cut at {cut}");
+        let damage = scan.damage.expect("partial header must be reported");
+        assert!(damage.reason.contains("truncated store header"), "{}", damage.reason);
+        assert_eq!(scan.intact_len, 0);
+    }
+    // And the store heals on the next append.
+    let outcome = store.append(&info(1), &sample_set(1)).unwrap();
+    assert_eq!(outcome.seq, 1);
+    assert!(outcome.recovered.is_some());
+    let scan = store.scan().unwrap();
+    assert!(scan.damage.is_none());
+    assert_eq!(scan.records.len(), 1);
+    let _ = fs::remove_file(&path);
+}
+
+#[test]
+fn duplicated_tail_frame_is_caught_by_the_sequence_check() {
+    // A replayed/duplicated append (e.g. a copy-paste repair attempt)
+    // passes every checksum but breaks the seq invariant — the store must
+    // flag it rather than report the same run twice.
+    let (store, bytes, healthy) = healthy_store("dup", 2);
+    let starts = frame_starts(&store, &bytes, 2);
+    let mut dup = bytes.clone();
+    dup.extend_from_slice(&bytes[starts[1]..]);
+    fs::write(store.path(), &dup).unwrap();
+
+    let scan = store.scan().unwrap();
+    assert_eq!(scan.records[..], healthy.records[..]);
+    let damage = scan.damage.expect("duplicated frame must be reported");
+    assert!(damage.reason.contains("sequence mismatch"), "{}", damage.reason);
+    assert_eq!(damage.offset, bytes.len() as u64);
+    let _ = fs::remove_file(store.path());
+}

@@ -1,0 +1,189 @@
+//! Property tests: arbitrary `ResultSet`/`Cell` trees survive the store
+//! byte format exactly.
+//!
+//! The record payload is hand-rolled JSON (no serde), so the risky
+//! surface is escaping and float formatting: labels full of commas,
+//! quotes, backslashes, control characters and astral-plane unicode, and
+//! floats at awkward magnitudes, must all come back structurally equal
+//! after `append` → file bytes → `scan`. The vendored proptest stub has
+//! no string strategy, so hostile strings are built by indexing into an
+//! adversarial character palette.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use jetty_experiments::store::{RunInfo, RunStore};
+use jetty_experiments::{Cell, ResultSet, TableData};
+use proptest::prelude::*;
+use proptest::strategy::Union;
+
+/// Characters chosen to break naive quoting: CSV separators, JSON string
+/// syntax, escapes, control characters, multi-byte and astral unicode.
+const PALETTE: &[char] = &[
+    'a',
+    'Z',
+    '0',
+    ' ',
+    ',',
+    ';',
+    '"',
+    '\'',
+    '\\',
+    '/',
+    '\n',
+    '\t',
+    '\r',
+    '\u{1}',
+    '\u{7f}',
+    '{',
+    '}',
+    '[',
+    ']',
+    ':',
+    'é',
+    'ß',
+    '→',
+    '😀',
+    '\u{10FFFF}',
+];
+
+fn hostile_string() -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..PALETTE.len(), 0..12)
+        .prop_map(|idxs| idxs.into_iter().map(|i| PALETTE[i]).collect())
+}
+
+/// Finite floats across signs and magnitudes (non-finite floats degrade
+/// to JSON null by design, so they are out of scope for exact
+/// round-tripping).
+fn finite_f64() -> impl Strategy<Value = f64> {
+    (any::<f64>(), 0i32..13).prop_map(|(unit, exp)| (unit - 0.5) * 10f64.powi(exp - 6))
+}
+
+fn cell() -> Union<Cell> {
+    prop_oneof![
+        Just(Cell::Empty),
+        hostile_string().prop_map(Cell::Label),
+        hostile_string().prop_map(Cell::Text),
+        any::<u64>().prop_map(Cell::Count),
+        any::<u64>().prop_map(Cell::Millions),
+        finite_f64().prop_map(Cell::MillionsValue),
+        any::<u64>().prop_map(Cell::MBytes),
+        finite_f64().prop_map(Cell::Ratio),
+        (finite_f64(), finite_f64())
+            .prop_map(|(measured, paper)| Cell::RatioPair { measured, paper }),
+        finite_f64().prop_map(Cell::DeltaPoints),
+        finite_f64().prop_map(Cell::Float),
+        (finite_f64(), 0u8..10).prop_map(|(value, dp)| Cell::Fixed { value, dp }),
+        finite_f64().prop_map(Cell::EnergyUj),
+    ]
+}
+
+/// Arbitrary tables — including ragged rows and empty row/column sets,
+/// which the store must carry faithfully even though the in-tree table
+/// builders never produce them.
+fn table() -> impl Strategy<Value = TableData> {
+    (
+        hostile_string(),
+        hostile_string(),
+        prop::collection::vec(hostile_string(), 0..5),
+        prop::collection::vec(prop::collection::vec(cell(), 0..5), 0..5),
+    )
+        .prop_map(|(id, title, columns, rows)| TableData { id, title, columns, rows })
+}
+
+fn result_set() -> impl Strategy<Value = ResultSet> {
+    prop::collection::vec(table(), 0..4).prop_map(|tables| ResultSet { tables })
+}
+
+fn run_info() -> impl Strategy<Value = RunInfo> {
+    (hostile_string(), hostile_string(), hostile_string(), any::<u64>(), any::<u64>()).prop_map(
+        |(git_rev, command, options, unix_time, timing_ms)| RunInfo {
+            unix_time,
+            git_rev,
+            command,
+            options,
+            timing_ms,
+        },
+    )
+}
+
+/// A fresh store file per property case (no clock or randomness — just a
+/// process-wide counter, keeping the stub's determinism intact).
+fn fresh_store() -> (RunStore, PathBuf) {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let path = std::env::temp_dir().join(format!(
+        "jetty_store_roundtrip_{}_{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = fs::remove_file(&path);
+    (RunStore::open(&path), path)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arbitrary_records_round_trip_exactly(info in run_info(), set in result_set()) {
+        let (store, path) = fresh_store();
+        let outcome = store.append(&info, &set).expect("append must succeed");
+        prop_assert_eq!(outcome.seq, 1);
+
+        let scan = store.scan().expect("scan must succeed");
+        prop_assert!(scan.damage.is_none(), "fresh store must be clean: {:?}", scan.damage);
+        prop_assert_eq!(scan.records.len(), 1);
+        let record = &scan.records[0];
+        prop_assert_eq!(&record.results, &set, "result tree must survive the byte format");
+        prop_assert_eq!(&record.meta.git_rev, &info.git_rev);
+        prop_assert_eq!(&record.meta.command, &info.command);
+        prop_assert_eq!(&record.meta.options, &info.options);
+        prop_assert_eq!(record.meta.unix_time, info.unix_time);
+        prop_assert_eq!(record.meta.timing_ms, info.timing_ms);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn multi_record_stores_keep_every_record_in_order(
+        sets in prop::collection::vec(result_set(), 1..5),
+        info in run_info(),
+    ) {
+        let (store, path) = fresh_store();
+        for set in &sets {
+            store.append(&info, set).expect("append must succeed");
+        }
+        let scan = store.scan().expect("scan must succeed");
+        prop_assert!(scan.damage.is_none());
+        prop_assert_eq!(scan.records.len(), sets.len());
+        for (i, set) in sets.iter().enumerate() {
+            prop_assert_eq!(scan.records[i].meta.seq, i as u64 + 1);
+            prop_assert_eq!(&scan.records[i].results, set, "record {} must be intact", i + 1);
+        }
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn hostile_labels_survive_a_store_cycle(labels in prop::collection::vec(hostile_string(), 1..8)) {
+        // The concentrated version of the property: a table whose every
+        // string field is adversarial.
+        let mut table = TableData::new(labels[0].clone(), labels.join(""));
+        table.columns = labels.clone();
+        table.rows.push(labels.iter().cloned().map(Cell::Label).collect());
+        table.rows.push(labels.iter().cloned().map(Cell::Text).collect());
+        let set = ResultSet { tables: vec![table] };
+
+        let (store, path) = fresh_store();
+        let info = RunInfo {
+            unix_time: 0,
+            git_rev: labels.join(","),
+            command: labels[0].clone(),
+            options: labels.concat(),
+            timing_ms: 0,
+        };
+        store.append(&info, &set).expect("append must succeed");
+        let scan = store.scan().expect("scan must succeed");
+        prop_assert_eq!(&scan.records[0].results, &set);
+        prop_assert_eq!(&scan.records[0].meta.git_rev, &info.git_rev);
+        let _ = fs::remove_file(&path);
+    }
+}

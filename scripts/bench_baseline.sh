@@ -1,14 +1,14 @@
 #!/usr/bin/env bash
 # Regenerates BENCH_baseline.json: wall-clock timings of representative
 # jetty-repro invocations, so successive PRs have a perf trajectory to
-# compare against. Schema 5 keeps the schema-4 measurements (host thread
+# compare against. Schema 6 keeps the schema-5 measurements (host thread
 # count, serial + parallel full reproduction, the MOESI/MESI/MSI protocol
-# sweep, the hot-path criterion throughputs), adds the declarative sweep
-# grid (`jetty-repro sweep`, protocol x cpus at scale 0.1): serial +
-# parallel wall-clock and the suite-cache hit rate the grid achieves
-# (points render from cached suites, so the default 6-point/6-suite grid
-# reads 50%), and preserves the previous file's full-scale value under
-# "previous" so the before/after of perf work stays on record.
+# sweep, the declarative sweep grid and its suite-cache hit rate, the
+# hot-path criterion throughputs), adds the run store: the cost of a
+# recorded invocation (`all --scale 0.02 --store`), the `diff` of two
+# recorded runs, and the store bench's append/scan throughputs — and
+# preserves the previous file's full-scale value under "previous" so the
+# before/after of perf work stays on record.
 # Usage: scripts/bench_baseline.sh [reps]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -52,6 +52,15 @@ sweep_hit_rate=$("$BIN" sweep --scale 0.1 --threads "$THREADS" 2>&1 >/dev/null \
 full_ms=$(time_ms all --scale 1.0 --threads 1)
 full_parallel_ms=$(time_ms all --scale 1.0 --threads "$THREADS")
 
+# Run-store surfaces: a recorded invocation (simulation + append), and a
+# diff of two recorded runs (two scans + cell-by-cell compare).
+STORE_TMP=$(mktemp -d)
+STORE_FILE="$STORE_TMP/baseline.store"
+store_record_ms=$(time_ms all --scale 0.02 --threads 1 --store "$STORE_FILE")
+"$BIN" all --scale 0.02 --threads 1 --store "$STORE_FILE" >/dev/null
+store_diff_ms=$(time_ms diff 1 2 --store "$STORE_FILE")
+rm -rf "$STORE_TMP"
+
 # Hot-path criterion throughputs (Melem/s; the bench prints
 # "hotpath/<name> ... X.XXX Melem/s").
 hotpath_out=$(cargo bench --bench hotpath 2>/dev/null | grep '^hotpath/')
@@ -63,9 +72,14 @@ l2_fill=$(hp l2_fill_evict)
 fastmap=$(hp version_map_fastmap)
 stdmap=$(hp version_map_std_hashmap)
 
+# Store criterion throughputs (append in Melem/s of cells, scan in MB/s).
+store_out=$(cargo bench --bench store 2>/dev/null | grep '^store/')
+store_append=$(echo "$store_out" | grep '^store/append_record ' | awk '{print $(NF-1)}')
+store_scan=$(echo "$store_out" | grep '^store/scan_100_records ' | awk '{print $(NF-1)}')
+
 cat > BENCH_baseline.json <<EOF
 {
-  "schema": 5,
+  "schema": 6,
   "tool": "scripts/bench_baseline.sh",
   "reps": $REPS,
   "threads": $THREADS,
@@ -81,13 +95,19 @@ cat > BENCH_baseline.json <<EOF
     "repro_sweep_scale0.1_parallel_ms": $sweep_parallel_ms,
     "sweep_cache_hit_rate_pct": $sweep_hit_rate,
     "repro_all_full_scale_ms": $full_ms,
-    "repro_all_full_scale_parallel_ms": $full_parallel_ms
+    "repro_all_full_scale_parallel_ms": $full_parallel_ms,
+    "repro_all_scale0.02_store_ms": $store_record_ms,
+    "store_diff_ms": $store_diff_ms
   },
   "hotpath_melems_per_s": {
     "l2_snoop_probe": $l2_probe,
     "l2_fill_evict": $l2_fill,
     "version_map_fastmap": $fastmap,
     "version_map_std_hashmap": $stdmap
+  },
+  "store": {
+    "append_record_melems_per_s": $store_append,
+    "scan_100_records_mb_per_s": $store_scan
   },
   "previous": {
     "schema": $prev_schema,

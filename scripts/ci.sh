@@ -34,4 +34,28 @@ target/release/jetty-repro sweep --scale 0.02 --threads 2 >/dev/null
 echo "==> JSON validity: renderer output parsed by the in-tree rust parser (no shell tools)"
 cargo test -q -p jetty-experiments --test renderers json_ -- --nocapture
 
+echo "==> run store smoke: record twice, list, diff clean"
+STORE_DIR=$(mktemp -d)
+STORE="$STORE_DIR/ci.store"
+# Pinned metadata keeps the two records byte-comparable (and matches the
+# committed reference record's identity fields).
+for i in 1 2; do
+  JETTY_STORE_NOW=0 JETTY_GIT_REV=reference JETTY_STORE_TIMING_MS=1000 \
+    target/release/jetty-repro all --scale 0.02 --threads 2 --store "$STORE" >/dev/null
+done
+target/release/jetty-repro runs --store "$STORE" >/dev/null
+target/release/jetty-repro diff 1 2 --store "$STORE" >/dev/null
+
+echo "==> cross-run regression gate: fresh run vs tests/golden/reference_scale002.store"
+# The committed reference pins timing_ms=3000 — a generous budget, not a
+# measurement: a fresh release scale-0.02 run takes a fraction of that on
+# any plausible host, so the 10% band only fires on a catastrophic
+# (>3300ms) slowdown while every output cell is still compared exactly.
+GATE="$STORE_DIR/gate.store"
+JETTY_STORE_NOW=0 JETTY_GIT_REV=reference \
+  target/release/jetty-repro all --scale 0.02 --threads 2 --store "$GATE" >/dev/null
+target/release/jetty-repro diff \
+  "tests/golden/reference_scale002.store:1" "$GATE:latest" --timing-band 10
+rm -rf "$STORE_DIR"
+
 echo "CI green."
