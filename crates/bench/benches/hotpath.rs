@@ -16,8 +16,9 @@
 use std::collections::HashMap;
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use jetty_core::UnitAddr;
+use jetty_core::{AddrSpace, FilterEvent, FilterSpec, MissScope, UnitAddr};
 use jetty_sim::{FastMap, L2Cache, L2Config, Moesi};
+use jetty_workloads::{apps, TraceGen};
 
 /// Deterministic xorshift stream of unit addresses (35-bit space).
 fn addresses(n: usize) -> Vec<u64> {
@@ -152,5 +153,87 @@ fn version_map_benches(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, l2_probe_benches, version_map_benches);
+/// A chunk-sized filter-event stream shaped like real bus traffic: mostly
+/// snoops (all genuine misses, the taught case), with an allocate and a
+/// deallocate every eight events to keep the deferred-rebuild paths hot.
+fn event_batch(addrs: &[u64]) -> Vec<FilterEvent> {
+    addrs
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| {
+            match i % 8 {
+                6 => FilterEvent::Allocate(UnitAddr::new(a)),
+                // Deallocate exactly what the previous event allocated:
+                // include filters assert alloc/dealloc balance per entry.
+                7 => FilterEvent::Deallocate(UnitAddr::new(addrs[i - 1])),
+                _ => FilterEvent::Snoop {
+                    unit: UnitAddr::new(a),
+                    would_hit: false,
+                    scope: MissScope::Block,
+                },
+            }
+        })
+        .collect()
+}
+
+fn batch_probe_benches(c: &mut Criterion) {
+    let addrs = addresses(1 << 13); // one System::CHUNK_LEN worth of events
+    let events = event_batch(&addrs);
+    let mut group = c.benchmark_group("hotpath");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(events.len() as u64));
+
+    // One batched replay through each paper filter family: the chunk-flush
+    // inner loop `run_chunk` defers to. Steady-state by design — the
+    // filter's arrays stay resident across iterations, exactly as they do
+    // across consecutive chunks of one application.
+    let cases = [
+        ("batch_probe_exclude", FilterSpec::exclude(32, 4)),
+        ("batch_probe_include", FilterSpec::include(10, 4, 7)),
+        ("batch_probe_hybrid", FilterSpec::hybrid_vector(10, 4, 7, 32, 4, 4)),
+    ];
+    for (name, spec) in cases {
+        let mut filter = spec.build_any(AddrSpace::default());
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                filter.apply_batch(&events, 1);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn trace_chunk_benches(c: &mut Criterion) {
+    let profile = apps::barnes();
+    let scale = 0.005;
+    let total = TraceGen::new(&profile, 4, scale).len();
+    let mut group = c.benchmark_group("hotpath");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(total));
+
+    // Streamed generation into one reusable chunk buffer: the producer
+    // side of the chunked runner loop.
+    group.bench_function("trace_fill_chunk", |b| {
+        b.iter_batched_ref(
+            || (TraceGen::new(&profile, 4, scale), Vec::with_capacity(8192)),
+            |(generator, buf)| {
+                let mut refs = 0u64;
+                while generator.fill_chunk(buf, 8192) {
+                    refs += buf.len() as u64;
+                }
+                refs
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    l2_probe_benches,
+    version_map_benches,
+    batch_probe_benches,
+    trace_chunk_benches
+);
 criterion_main!(benches);

@@ -190,10 +190,95 @@ impl ExcludeJetty {
     }
 
     /// Flat index of the way holding `tag` in `set`, if any. Scans keys
-    /// only ([`EMPTY_KEY`] can never alias a real tag).
+    /// only ([`EMPTY_KEY`] can never alias a real tag). The scan is
+    /// branchless — every way is compared and the match selected with a
+    /// conditional move — because the matching way's position is
+    /// data-dependent: an early-exit scan mispredicts on nearly every hit,
+    /// and sets are at most a few ways wide anyway. Tags are unique within
+    /// a set (records only insert after a failed find), so scan order
+    /// cannot change the answer.
     fn find(&self, set: usize, tag: u64) -> Option<usize> {
-        let range = self.set_range(set);
-        self.keys[range.clone()].iter().position(|&k| k >> 1 == tag).map(|way| range.start + way)
+        let base = set * self.config.ways;
+        let keys = &self.keys[base..base + self.config.ways];
+        let mut found = usize::MAX;
+        for (way, &k) in keys.iter().enumerate().rev() {
+            if k >> 1 == tag {
+                found = base + way;
+            }
+        }
+        (found != usize::MAX).then_some(found)
+    }
+
+    /// Replays a node's deferred event list through this filter — exactly
+    /// equivalent to the substrate's eager per-snoop sequence (probe, then
+    /// the safety assertion or [`record_snoop_miss`](SnoopFilter::record_snoop_miss)
+    /// on an unfiltered genuine miss), but with the probe/filtered counters
+    /// accumulated in registers and charged once per batch, and the key and
+    /// stamp arrays staying cache-resident across the whole batch. `node`
+    /// only labels the safety panic.
+    pub fn apply_batch(&mut self, events: &[crate::FilterEvent], node: usize) {
+        let mut probes = 0u64;
+        let mut filtered = 0u64;
+        for ev in events {
+            match *ev {
+                crate::FilterEvent::Snoop { unit, would_hit, scope } => {
+                    // The eager sequence is probe() followed by
+                    // record_snoop_miss(), each doing its own split+find;
+                    // nothing mutates between the two, so the replay fuses
+                    // them around one lookup, working on the set's key and
+                    // stamp windows directly (one bounds check each, then
+                    // pure register arithmetic). Tick order is preserved
+                    // exactly (probe ticks only on a tag hit; the record
+                    // ticks once more).
+                    probes += 1;
+                    let (set, tag) = self.split(unit);
+                    let base = set * self.config.ways;
+                    let keys = &mut self.keys[base..base + self.config.ways];
+                    let stamps = &mut self.stamps[base..base + self.config.ways];
+                    let mut way = usize::MAX;
+                    for (w, &k) in keys.iter().enumerate().rev() {
+                        if k >> 1 == tag {
+                            way = w;
+                        }
+                    }
+                    if let Some(stamp) = stamps.get_mut(way) {
+                        self.clock += 1;
+                        *stamp = self.clock;
+                        if keys[way] & 1 != 0 {
+                            filtered += 1;
+                            assert!(
+                                !would_hit,
+                                "UNSAFE FILTER: EJ-{}x{} filtered a snoop to cached unit {unit} on node {node}",
+                                self.config.sets, self.config.ways
+                            );
+                        } else if !would_hit && scope == MissScope::Block {
+                            self.records += 1;
+                            keys[way] |= 1;
+                            self.clock += 1;
+                            stamps[way] = self.clock;
+                        }
+                    } else if !would_hit && scope == MissScope::Block {
+                        self.records += 1;
+                        self.clock += 1;
+                        // First-minimum scan == `min_by_key` over the set.
+                        let mut victim = 0;
+                        let mut oldest = stamps[0];
+                        for (w, &s) in stamps.iter().enumerate().skip(1) {
+                            if s < oldest {
+                                oldest = s;
+                                victim = w;
+                            }
+                        }
+                        keys[victim] = make_key(tag, true);
+                        stamps[victim] = self.clock;
+                    }
+                }
+                crate::FilterEvent::Allocate(unit) => self.on_allocate(unit),
+                crate::FilterEvent::Deallocate(unit) => self.on_deallocate(unit),
+            }
+        }
+        self.activity.probes += probes;
+        self.activity.filtered += filtered;
     }
 }
 

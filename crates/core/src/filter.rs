@@ -154,6 +154,50 @@ impl FilterActivity {
     }
 }
 
+/// One deferred filter notification, as logged by the SMP substrate's
+/// batched hot path.
+///
+/// Filters are pure bystanders: their state depends only on the ordered
+/// sequence of notifications *they themselves* receive, never on protocol
+/// state. The substrate exploits this by logging one compact event per
+/// notification while it simulates a chunk of references scalar-fashion,
+/// then replaying each node's event list through each filter in turn
+/// ([`AnyFilter::apply_batch`](crate::AnyFilter::apply_batch)) — one
+/// filter's arrays stay cache-resident across thousands of events instead
+/// of a whole bank thrashing per snoop. Replaying the events in order is
+/// *exactly* equivalent to the eager calls, including energy accounting.
+///
+/// # Examples
+///
+/// ```
+/// use jetty_core::{FilterEvent, MissScope, UnitAddr};
+///
+/// let ev =
+///     FilterEvent::Snoop { unit: UnitAddr::new(7), would_hit: false, scope: MissScope::Block };
+/// assert!(matches!(ev, FilterEvent::Snoop { .. }));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FilterEvent {
+    /// A bus snoop probed this node: the filter is probed, and — when the
+    /// snoop was not filtered and the L2 would miss (`!would_hit`) — the
+    /// filter learns the miss via
+    /// [`record_snoop_miss`](SnoopFilter::record_snoop_miss) with `scope`.
+    /// `would_hit` also drives the safety assertion: a filter that claims
+    /// [`Verdict::NotCached`] for a cached unit is unsafe.
+    Snoop {
+        /// The snooped coherence unit.
+        unit: UnitAddr,
+        /// Whether the local L2 holds a valid copy (snoop would hit).
+        would_hit: bool,
+        /// Absence scope proven by the L2 tag probe on a miss.
+        scope: MissScope,
+    },
+    /// The local L2 gained a valid copy ([`on_allocate`](SnoopFilter::on_allocate)).
+    Allocate(UnitAddr),
+    /// The local L2 lost a valid copy ([`on_deallocate`](SnoopFilter::on_deallocate)).
+    Deallocate(UnitAddr),
+}
+
 /// A snoop filter in the JETTY family.
 ///
 /// The SMP substrate drives a filter through four notifications:

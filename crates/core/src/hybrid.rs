@@ -186,6 +186,33 @@ impl HybridJetty {
     pub fn include_part(&self) -> &IncludeJetty {
         &self.include
     }
+
+    /// Replays a node's deferred event list through the hybrid — exactly
+    /// equivalent to the substrate's eager per-snoop sequence (probe, then
+    /// the safety assertion or [`record_snoop_miss`](SnoopFilter::record_snoop_miss)
+    /// on an unfiltered genuine miss). The hybrid keeps both component
+    /// structures hot across the batch; `probe` carries the eager-ablation
+    /// side effects, so replay goes through it rather than inlining the
+    /// components. `node` only labels the safety panic.
+    pub fn apply_batch(&mut self, events: &[crate::FilterEvent], node: usize) {
+        for ev in events {
+            match *ev {
+                crate::FilterEvent::Snoop { unit, would_hit, scope } => {
+                    if self.probe(unit).is_filtered() {
+                        assert!(
+                            !would_hit,
+                            "UNSAFE FILTER: {} filtered a snoop to cached unit {unit} on node {node}",
+                            self.name()
+                        );
+                    } else if !would_hit {
+                        self.record_snoop_miss(unit, scope);
+                    }
+                }
+                crate::FilterEvent::Allocate(unit) => self.on_allocate(unit),
+                crate::FilterEvent::Deallocate(unit) => self.on_deallocate(unit),
+            }
+        }
+    }
 }
 
 impl SnoopFilter for HybridJetty {

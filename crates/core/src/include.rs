@@ -256,6 +256,45 @@ impl IncludeJetty {
         }
         false
     }
+
+    /// Replays a node's deferred event list through this filter — exactly
+    /// equivalent to the substrate's eager per-snoop sequence, with the
+    /// probe/filtered counters accumulated in registers and the packed
+    /// p-bit bitmap cache-resident across the batch. IJ ignores
+    /// `record_snoop_miss`, so unfiltered misses need no replay work; the
+    /// safety assertion fires exactly as in the eager path. `node` only
+    /// labels the panic.
+    pub fn apply_batch(&mut self, events: &[crate::FilterEvent], node: usize) {
+        let mut probes = 0u64;
+        let mut filtered = 0u64;
+        for ev in events {
+            match *ev {
+                crate::FilterEvent::Snoop { unit, would_hit, .. } => {
+                    probes += 1;
+                    let mut absent = false;
+                    for i in 0..self.config.sub_arrays {
+                        let idx = self.index(i, unit);
+                        if !self.pbit(self.flat_slot(i, idx)) {
+                            absent = true;
+                            break;
+                        }
+                    }
+                    if absent {
+                        filtered += 1;
+                        assert!(
+                            !would_hit,
+                            "UNSAFE FILTER: {} filtered a snoop to cached unit {unit} on node {node}",
+                            self.name()
+                        );
+                    }
+                }
+                crate::FilterEvent::Allocate(unit) => self.on_allocate(unit),
+                crate::FilterEvent::Deallocate(unit) => self.on_deallocate(unit),
+            }
+        }
+        self.activity.probes += probes;
+        self.activity.filtered += filtered;
+    }
 }
 
 impl SnoopFilter for IncludeJetty {

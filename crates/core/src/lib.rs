@@ -65,7 +65,8 @@ mod vector_exclude;
 pub use addr::{AddrSpace, UnitAddr};
 pub use exclude::{ExcludeConfig, ExcludeJetty};
 pub use filter::{
-    ArrayActivity, ArrayKind, ArraySpec, FilterActivity, MissScope, SnoopFilter, Verdict,
+    ArrayActivity, ArrayKind, ArraySpec, FilterActivity, FilterEvent, MissScope, SnoopFilter,
+    Verdict,
 };
 pub use hybrid::{EjAllocation, ExcludePart, HybridConfig, HybridJetty};
 pub use include::{IncludeConfig, IncludeJetty};

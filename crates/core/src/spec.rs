@@ -345,6 +345,25 @@ macro_rules! dispatch {
     };
 }
 
+impl AnyFilter {
+    /// Replays a node's deferred event list ([`crate::FilterEvent`])
+    /// through this filter — the batched twin of the substrate's eager
+    /// per-snoop calls. The variant match is hoisted *outside* the event
+    /// loop: one filter's arrays stay cache-resident across thousands of
+    /// events instead of a whole bank thrashing per snoop, which is the
+    /// point of batching. `node` only labels the filter-safety panic.
+    #[inline]
+    pub fn apply_batch(&mut self, events: &[crate::FilterEvent], node: usize) {
+        match self {
+            AnyFilter::Null(inner) => inner.apply_batch(events),
+            AnyFilter::Exclude(inner) => inner.apply_batch(events, node),
+            AnyFilter::VectorExclude(inner) => inner.apply_batch(events, node),
+            AnyFilter::Include(inner) => inner.apply_batch(events, node),
+            AnyFilter::Hybrid(inner) => inner.apply_batch(events, node),
+        }
+    }
+}
+
 impl SnoopFilter for AnyFilter {
     #[inline]
     fn probe(&mut self, addr: UnitAddr) -> Verdict {

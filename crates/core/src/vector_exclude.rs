@@ -193,10 +193,88 @@ impl VectorExcludeJetty {
     }
 
     /// Flat index of the way holding `tag` in `set`, if any. Scans tags
-    /// only ([`EMPTY_TAG`] can never alias a real chunk tag).
+    /// only ([`EMPTY_TAG`] can never alias a real chunk tag). Branchless
+    /// for the same reason as [`ExcludeJetty`]'s find: the matching way is
+    /// data-dependent, so compare-and-select beats an early-exit scan.
     fn find(&self, set: usize, tag: u64) -> Option<usize> {
-        let range = self.set_range(set);
-        self.tags[range.clone()].iter().position(|&t| t == tag).map(|way| range.start + way)
+        let base = set * self.config.ways;
+        let tags = &self.tags[base..base + self.config.ways];
+        let mut found = usize::MAX;
+        for (way, &t) in tags.iter().enumerate().rev() {
+            if t == tag {
+                found = base + way;
+            }
+        }
+        (found != usize::MAX).then_some(found)
+    }
+
+    /// Replays a node's deferred event list through this filter — exactly
+    /// equivalent to the substrate's eager per-snoop sequence (see
+    /// [`ExcludeJetty::apply_batch`](crate::ExcludeJetty::apply_batch)),
+    /// with counters accumulated in registers and the tag/vector/stamp
+    /// arrays cache-resident across the batch. `node` only labels the
+    /// safety panic.
+    pub fn apply_batch(&mut self, events: &[crate::FilterEvent], node: usize) {
+        let mut probes = 0u64;
+        let mut filtered = 0u64;
+        for ev in events {
+            match *ev {
+                crate::FilterEvent::Snoop { unit, would_hit, scope } => {
+                    // Fused probe + record around one split/find, exactly
+                    // as in `ExcludeJetty::apply_batch` (the intermediate
+                    // find in the eager sequence sees unchanged state, and
+                    // the tick order is preserved).
+                    probes += 1;
+                    let (set, tag, lane) = self.split(unit);
+                    let base = set * self.config.ways;
+                    let tags = &mut self.tags[base..base + self.config.ways];
+                    let vectors = &mut self.vectors[base..base + self.config.ways];
+                    let stamps = &mut self.stamps[base..base + self.config.ways];
+                    let mut way = usize::MAX;
+                    for (w, &t) in tags.iter().enumerate().rev() {
+                        if t == tag {
+                            way = w;
+                        }
+                    }
+                    if let Some(stamp) = stamps.get_mut(way) {
+                        self.clock += 1;
+                        *stamp = self.clock;
+                        if vectors[way] & (1u64 << lane) != 0 {
+                            filtered += 1;
+                            assert!(
+                                !would_hit,
+                                "UNSAFE FILTER: VEJ-{}x{}-{} filtered a snoop to cached unit {unit} on node {node}",
+                                self.config.sets, self.config.ways, self.config.vector_len
+                            );
+                        } else if !would_hit && scope == MissScope::Block {
+                            self.records += 1;
+                            vectors[way] |= 1u64 << lane;
+                            self.clock += 1;
+                            stamps[way] = self.clock;
+                        }
+                    } else if !would_hit && scope == MissScope::Block {
+                        self.records += 1;
+                        self.clock += 1;
+                        // First-minimum scan == `min_by_key` over the set.
+                        let mut victim = 0;
+                        let mut oldest = stamps[0];
+                        for (w, &s) in stamps.iter().enumerate().skip(1) {
+                            if s < oldest {
+                                oldest = s;
+                                victim = w;
+                            }
+                        }
+                        tags[victim] = tag;
+                        vectors[victim] = 1u64 << lane;
+                        stamps[victim] = self.clock;
+                    }
+                }
+                crate::FilterEvent::Allocate(unit) => self.on_allocate(unit),
+                crate::FilterEvent::Deallocate(unit) => self.on_deallocate(unit),
+            }
+        }
+        self.activity.probes += probes;
+        self.activity.filtered += filtered;
     }
 }
 

@@ -46,7 +46,7 @@ use std::time::{Duration, Instant};
 
 use jetty_workloads::apps;
 
-use crate::runner::{run_app, AppRun, RunOptions};
+use crate::runner::{run_app_timed, AppRun, AppTiming, RunOptions};
 
 /// A shared, thread-safe cache of finished suite runs, keyed by the full
 /// [`RunOptions`] (bank included).
@@ -141,6 +141,12 @@ pub struct SuiteTiming {
     pub elapsed: Duration,
     /// Jobs executed (one per application).
     pub jobs: usize,
+    /// Time the jobs spent generating trace chunks (summed across jobs;
+    /// part of `elapsed`).
+    pub gen: Duration,
+    /// Time the jobs spent simulating those chunks (summed across jobs;
+    /// part of `elapsed`).
+    pub sim: Duration,
 }
 
 /// The worker-pool executor. Built once per process (or per benchmark
@@ -312,14 +318,14 @@ impl Engine {
             .flat_map(|suite| (0..profiles.len()).map(move |app| Job { suite, app }))
             .collect();
 
-        let results: Vec<(AppRun, Duration)> = if self.threads == 1 || jobs.len() == 1 {
+        let results: Vec<(AppRun, Duration, AppTiming)> = if self.threads == 1 || jobs.len() == 1 {
             // The sequential path: same loop the pre-engine runner had,
             // on the caller's thread.
             jobs.iter()
                 .map(|j| {
                     let started = Instant::now();
-                    let run = run_app(&profiles[j.app], &suites[j.suite]);
-                    (run, started.elapsed())
+                    let (run, split) = run_app_timed(&profiles[j.app], &suites[j.suite]);
+                    (run, started.elapsed(), split)
                 })
                 .collect()
         } else {
@@ -329,16 +335,21 @@ impl Engine {
 
         let mut out: Vec<Vec<AppRun>> = suites.iter().map(|_| Vec::new()).collect();
         let mut elapsed: Vec<Duration> = vec![Duration::ZERO; suites.len()];
-        for (job, (run, took)) in jobs.iter().zip(results) {
+        let mut splits: Vec<AppTiming> = vec![AppTiming::default(); suites.len()];
+        for (job, (run, took, split)) in jobs.iter().zip(results) {
             out[job.suite].push(run);
             elapsed[job.suite] += took;
+            splits[job.suite].gen += split.gen;
+            splits[job.suite].sim += split.sim;
         }
         let mut log = self.timings.lock().expect("timing log poisoned");
-        for (options, took) in suites.iter().zip(&elapsed) {
+        for ((options, took), split) in suites.iter().zip(&elapsed).zip(&splits) {
             log.push(SuiteTiming {
                 options: options.clone(),
                 elapsed: *took,
                 jobs: profiles.len(),
+                gen: split.gen,
+                sim: split.sim,
             });
         }
         out
@@ -353,9 +364,9 @@ impl Engine {
         suites: &[RunOptions],
         profiles: &[jetty_workloads::AppProfile],
         jobs: &[Job],
-    ) -> Vec<(AppRun, Duration)> {
+    ) -> Vec<(AppRun, Duration, AppTiming)> {
         let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<(AppRun, Duration)>>> =
+        let slots: Vec<Mutex<Option<(AppRun, Duration, AppTiming)>>> =
             jobs.iter().map(|_| Mutex::new(None)).collect();
         thread::scope(|scope| {
             for _ in 0..self.threads.min(jobs.len()) {
@@ -363,9 +374,9 @@ impl Engine {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(job) = jobs.get(i) else { break };
                     let started = Instant::now();
-                    let run = run_app(&profiles[job.app], &suites[job.suite]);
+                    let (run, split) = run_app_timed(&profiles[job.app], &suites[job.suite]);
                     *slots[i].lock().expect("result slot poisoned") =
-                        Some((run, started.elapsed()));
+                        Some((run, started.elapsed(), split));
                 });
             }
         });

@@ -70,7 +70,7 @@ pub mod tables;
 pub use engine::{Engine, EngineStats, SuiteCache};
 pub use results::render::{Format, Renderer};
 pub use results::{Cell, ResultSet, TableData};
-pub use runner::{average, run_app, run_suite, AppRun, RunOptions};
+pub use runner::{average, run_app, run_app_timed, run_suite, AppRun, AppTiming, RunOptions};
 pub use store::diff::{diff_runs, DiffOptions, DiffReport};
 pub use store::{RunInfo, RunRecord, RunRef, RunStore};
 pub use sweep::{Axis, SweepGrid};

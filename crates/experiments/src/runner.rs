@@ -203,17 +203,41 @@ impl AppRun {
     }
 }
 
+/// Wall-clock attribution of one application run, split between the two
+/// streamed stages: trace generation (refilling the chunk buffer) and
+/// simulation (running each chunk through the system). Summed per suite
+/// into [`SuiteTiming`](crate::engine::SuiteTiming) for `--timings`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AppTiming {
+    /// Time spent generating trace chunks.
+    pub gen: std::time::Duration,
+    /// Time spent simulating trace chunks.
+    pub sim: std::time::Duration,
+}
+
 /// Runs one application.
 ///
 /// One `TraceGen` serves both metadata and simulation: `footprint()` and
 /// `len()` are whole-trace totals (fixed at construction, *not* remaining
 /// counts), so reading them here costs nothing and the generator is then
-/// consumed exactly once by `system.run` — there is no second generation
-/// pass. The debug assertion pins the metadata-before-iteration invariant
-/// so a future reordering cannot silently double-generate or misreport.
+/// consumed exactly once — there is no second generation pass. The debug
+/// assertion pins the metadata-before-iteration invariant so a future
+/// reordering cannot silently double-generate or misreport.
 pub fn run_app(profile: &AppProfile, options: &RunOptions) -> AppRun {
+    run_app_timed(profile, options).0
+}
+
+/// [`run_app`], also returning the generation/simulation wall-clock split.
+///
+/// The trace is streamed: the generator refills one reusable
+/// [`System::CHUNK_LEN`]-reference buffer per iteration and the system
+/// consumes it via [`System::run_chunk`] (the batched snoop fan-out), so
+/// the whole trace is never materialised and the two stages can be timed
+/// separately at chunk granularity (two clock reads per ~8 K references —
+/// noise-level overhead).
+pub fn run_app_timed(profile: &AppProfile, options: &RunOptions) -> (AppRun, AppTiming) {
     let mut system = System::new(options.system_config(), &options.specs);
-    let generator = TraceGen::new(profile, options.cpus, options.scale);
+    let mut generator = TraceGen::new(profile, options.cpus, options.scale);
     let footprint = generator.footprint();
     let refs = generator.len();
     debug_assert_eq!(
@@ -221,14 +245,27 @@ pub fn run_app(profile: &AppProfile, options: &RunOptions) -> AppRun {
         refs,
         "TraceGen metadata must be taken before iteration consumes the generator"
     );
-    system.run(generator);
-    AppRun {
+    let mut timing = AppTiming::default();
+    let mut buf = Vec::with_capacity(System::CHUNK_LEN);
+    loop {
+        let start = std::time::Instant::now();
+        let more = generator.fill_chunk(&mut buf, System::CHUNK_LEN);
+        timing.gen += start.elapsed();
+        if !more {
+            break;
+        }
+        let start = std::time::Instant::now();
+        system.run_chunk(&buf);
+        timing.sim += start.elapsed();
+    }
+    let run = AppRun {
         profile: profile.clone(),
         footprint,
         refs,
         run: system.run_stats(),
         reports: system.filter_reports(),
-    }
+    };
+    (run, timing)
 }
 
 /// Runs the full ten-application suite sequentially on the calling

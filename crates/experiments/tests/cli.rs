@@ -108,6 +108,10 @@ fn timings_flag_reports_on_stderr_and_leaves_stdout_untouched() {
     assert!(stderr.contains("[timing] suite"), "missing timing lines: {stderr}");
     assert!(stderr.contains("cpus=4"), "timing line lacks suite description: {stderr}");
     assert!(stderr.contains("across 10 jobs"), "timing line lacks job count: {stderr}");
+    // Each suite line splits its wall-clock into trace generation and
+    // simulation time.
+    assert!(stderr.contains("(gen "), "timing line lacks generation split: {stderr}");
+    assert!(stderr.contains(", sim "), "timing line lacks simulation split: {stderr}");
     // Without the flag, no timing lines appear.
     assert!(!String::from_utf8_lossy(&without.stderr).contains("[timing]"));
 }

@@ -8,7 +8,7 @@
 //!
 //! [`CoherenceProtocol`]: crate::protocol::CoherenceProtocol
 
-use jetty_core::{MissScope, SnoopFilter, UnitAddr};
+use jetty_core::{FilterEvent, MissScope, SnoopFilter, UnitAddr};
 
 use crate::bus::{BusKind, SnoopResponse};
 use crate::protocol::CoherenceProtocol;
@@ -108,17 +108,23 @@ impl System {
 
             // 2. The filter bank observes the snoop. Filters are pure
             // bystanders: every one probes, and each that fails to filter a
-            // genuine miss is taught via record_snoop_miss.
-            for f in &mut node.filters {
-                let verdict = f.probe(unit);
-                if verdict.is_filtered() {
-                    assert!(
-                        !would_hit,
-                        "UNSAFE FILTER: {} filtered a snoop to cached unit {unit} on node {i}",
-                        f.name()
-                    );
-                } else if !would_hit {
-                    f.record_snoop_miss(unit, scope);
+            // genuine miss is taught via record_snoop_miss. A batched run
+            // defers the whole bank walk to the chunk flush — one logged
+            // event here, replayed per filter in cache-friendly order.
+            if self.batching {
+                node.events.push(FilterEvent::Snoop { unit, would_hit, scope });
+            } else {
+                for f in &mut node.filters {
+                    let verdict = f.probe(unit);
+                    if verdict.is_filtered() {
+                        assert!(
+                            !would_hit,
+                            "UNSAFE FILTER: {} filtered a snoop to cached unit {unit} on node {i}",
+                            f.name()
+                        );
+                    } else if !would_hit {
+                        f.record_snoop_miss(unit, scope);
+                    }
                 }
             }
         }
@@ -174,8 +180,12 @@ impl System {
                     node.stats.snoop_supplies += 1;
                     response.supplied_version = Some(version);
                 }
-                for f in &mut self.nodes[i].filters {
-                    f.on_deallocate(unit);
+                if self.batching {
+                    self.nodes[i].events.push(FilterEvent::Deallocate(unit));
+                } else {
+                    for f in &mut self.nodes[i].filters {
+                        f.on_deallocate(unit);
+                    }
                 }
             }
         }

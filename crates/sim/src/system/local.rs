@@ -8,7 +8,7 @@
 //!
 //! [`CoherenceProtocol`]: crate::protocol::CoherenceProtocol
 
-use jetty_core::{SnoopFilter, UnitAddr};
+use jetty_core::{FilterEvent, SnoopFilter, UnitAddr};
 
 use crate::bus::BusKind;
 use crate::l1::L1Lookup;
@@ -229,12 +229,20 @@ impl System {
                     self.retire_to_memory(forced);
                 }
             }
-            for f in &mut self.nodes[cpu].filters {
-                f.on_deallocate(ev.unit);
+            if self.batching {
+                self.nodes[cpu].events.push(FilterEvent::Deallocate(ev.unit));
+            } else {
+                for f in &mut self.nodes[cpu].filters {
+                    f.on_deallocate(ev.unit);
+                }
             }
         }
-        for f in &mut self.nodes[cpu].filters {
-            f.on_allocate(unit);
+        if self.batching {
+            self.nodes[cpu].events.push(FilterEvent::Allocate(unit));
+        } else {
+            for f in &mut self.nodes[cpu].filters {
+                f.on_allocate(unit);
+            }
         }
         self.evict_scratch = evicted;
     }

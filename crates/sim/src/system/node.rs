@@ -2,7 +2,7 @@
 //! helpers. Everything that needs cross-node or bus context lives in
 //! [`local`](super::local) and [`bus`](super::bus) instead.
 
-use jetty_core::{AnyFilter, UnitAddr};
+use jetty_core::{AnyFilter, FilterEvent, UnitAddr};
 
 use crate::l1::L1Cache;
 use crate::l2::L2Cache;
@@ -20,6 +20,14 @@ pub(super) struct Node {
     pub(super) wb: WritebackBuffer,
     pub(super) filters: Vec<AnyFilter>,
     pub(super) stats: NodeStats,
+    /// Filter notifications deferred during a batched chunk
+    /// ([`System::run_chunk`](super::System::run_chunk)): the protocol path
+    /// logs one compact event per notification here instead of walking the
+    /// whole bank per snoop, and the chunk flush replays the list through
+    /// each filter in turn. Empty outside batched runs, and drained before
+    /// `run_chunk` returns. The buffer's capacity is retained across
+    /// chunks, so steady-state logging allocates nothing.
+    pub(super) events: Vec<FilterEvent>,
 }
 
 impl Node {

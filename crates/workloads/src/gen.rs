@@ -124,6 +124,39 @@ impl TraceGen {
     pub fn footprint(&self) -> u64 {
         self.footprint
     }
+
+    /// Refills `buf` with up to `max` references, reusing its allocation.
+    ///
+    /// This is the streamed twin of the `Iterator` implementation — it
+    /// draws from the same state, so a trace produced by repeated
+    /// `fill_chunk` calls is reference-for-reference identical to one
+    /// produced by `next()`, and the two can even be interleaved. Returns
+    /// `false` once the trace is exhausted and `buf` came back empty.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use jetty_workloads::{apps, TraceGen};
+    ///
+    /// let profile = apps::barnes();
+    /// let mut gen = TraceGen::new(&profile, 4, 0.001);
+    /// let mut buf = Vec::new();
+    /// let mut streamed = 0;
+    /// while gen.fill_chunk(&mut buf, 4096) {
+    ///     streamed += buf.len() as u64;
+    /// }
+    /// assert_eq!(streamed, gen.len());
+    /// ```
+    pub fn fill_chunk(&mut self, buf: &mut Vec<MemRef>, max: usize) -> bool {
+        buf.clear();
+        while buf.len() < max {
+            match self.next() {
+                Some(r) => buf.push(r),
+                None => break,
+            }
+        }
+        !buf.is_empty()
+    }
 }
 
 impl Iterator for TraceGen {
@@ -232,6 +265,23 @@ mod tests {
     #[should_panic(expected = "at least two CPUs")]
     fn rejects_uniprocessor() {
         let _ = TraceGen::new(&apps::barnes(), 1, 1.0);
+    }
+
+    #[test]
+    fn fill_chunk_matches_iterator_reference_for_reference() {
+        let p = apps::barnes();
+        let iterated: Vec<MemRef> = TraceGen::new(&p, 4, 0.002).collect();
+        let mut generator = TraceGen::new(&p, 4, 0.002);
+        let mut streamed = Vec::new();
+        let mut buf = Vec::new();
+        // A chunk size that does not divide the trace length, so the last
+        // chunk is partial.
+        while generator.fill_chunk(&mut buf, 999) {
+            streamed.extend_from_slice(&buf);
+        }
+        assert_eq!(streamed, iterated);
+        assert!(!generator.fill_chunk(&mut buf, 999), "exhausted generator must stay empty");
+        assert!(buf.is_empty());
     }
 
     #[test]

@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
 # Regenerates BENCH_baseline.json: wall-clock timings of representative
 # jetty-repro invocations, so successive PRs have a perf trajectory to
-# compare against. Schema 6 keeps the schema-5 measurements (host thread
+# compare against. Schema 7 keeps the schema-6 measurements (host thread
 # count, serial + parallel full reproduction, the MOESI/MESI/MSI protocol
 # sweep, the declarative sweep grid and its suite-cache hit rate, the
-# hot-path criterion throughputs), adds the run store: the cost of a
-# recorded invocation (`all --scale 0.02 --store`), the `diff` of two
-# recorded runs, and the store bench's append/scan throughputs — and
-# preserves the previous file's full-scale value under "previous" so the
-# before/after of perf work stays on record.
+# hot-path and store criterion throughputs, the run-store surfaces) and
+# adds the chunked-runner hot paths: batched filter replay
+# (`batch_probe_{exclude,include,hybrid}`) and streamed trace generation
+# (`trace_fill_chunk`) — and preserves the previous file's full-scale
+# value under "previous" so the before/after of perf work stays on
+# record. Full-scale wall-clock on this host drifts run-to-run by ~15%;
+# compare best-of-reps against best-of-reps measured the same day before
+# reading anything into a delta (see "full_scale_note").
 # Usage: scripts/bench_baseline.sh [reps]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -71,6 +74,10 @@ l2_probe=$(hp l2_snoop_probe)
 l2_fill=$(hp l2_fill_evict)
 fastmap=$(hp version_map_fastmap)
 stdmap=$(hp version_map_std_hashmap)
+batch_ej=$(hp batch_probe_exclude)
+batch_ij=$(hp batch_probe_include)
+batch_hybrid=$(hp batch_probe_hybrid)
+trace_chunk=$(hp trace_fill_chunk)
 
 # Store criterion throughputs (append in Melem/s of cells, scan in MB/s).
 store_out=$(cargo bench --bench store 2>/dev/null | grep '^store/')
@@ -79,7 +86,7 @@ store_scan=$(echo "$store_out" | grep '^store/scan_100_records ' | awk '{print $
 
 cat > BENCH_baseline.json <<EOF
 {
-  "schema": 6,
+  "schema": 7,
   "tool": "scripts/bench_baseline.sh",
   "reps": $REPS,
   "threads": $THREADS,
@@ -103,8 +110,13 @@ cat > BENCH_baseline.json <<EOF
     "l2_snoop_probe": $l2_probe,
     "l2_fill_evict": $l2_fill,
     "version_map_fastmap": $fastmap,
-    "version_map_std_hashmap": $stdmap
+    "version_map_std_hashmap": $stdmap,
+    "batch_probe_exclude": $batch_ej,
+    "batch_probe_include": $batch_ij,
+    "batch_probe_hybrid": $batch_hybrid,
+    "trace_fill_chunk": $trace_chunk
   },
+  "full_scale_note": "schema 6 recorded 20740 ms against schema 5's 15017 ms; re-measuring both binaries back-to-back (best-of-5 each) gave 19010 ms (schema 6 HEAD) vs 18242 ms (schema 5 HEAD) with overlapping ranges — the schema-6 jump was host/environment drift, not a code regression. Full-scale runs on this host vary ~15% run-to-run; only same-day A/B comparisons are meaningful. The schema-7 chunked/batched runner measures at parity with the re-measured 19010 ms pre-batching baseline: the batched replay raises steady-state filter throughput (batch_probe_exclude ~150 Melem/s) and chunk-size tuning recovers the flush overhead (8Ki chunks cost ~22.2 s, 64Ki ~19.0 s), but end-to-end the single-core hot path is memory-bound on the simulated L2 arrays, not on per-event dispatch.",
   "store": {
     "append_record_melems_per_s": $store_append,
     "scan_100_records_mb_per_s": $store_scan
