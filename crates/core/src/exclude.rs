@@ -21,6 +21,7 @@ use std::fmt;
 
 use crate::addr::{AddrSpace, UnitAddr};
 use crate::filter::{ArrayActivity, ArraySpec, FilterActivity, MissScope, SnoopFilter, Verdict};
+use crate::kernels::{self, EjGeom, SimdLevel};
 
 /// Configuration for an [`ExcludeJetty`], the paper's `EJ-SxA` naming.
 ///
@@ -217,68 +218,99 @@ impl ExcludeJetty {
     /// stamp arrays staying cache-resident across the whole batch. `node`
     /// only labels the safety panic.
     pub fn apply_batch(&mut self, events: &[crate::FilterEvent], node: usize) {
-        let mut probes = 0u64;
-        let mut filtered = 0u64;
-        for ev in events {
-            match *ev {
-                crate::FilterEvent::Snoop { unit, would_hit, scope } => {
-                    // The eager sequence is probe() followed by
-                    // record_snoop_miss(), each doing its own split+find;
-                    // nothing mutates between the two, so the replay fuses
-                    // them around one lookup, working on the set's key and
-                    // stamp windows directly (one bounds check each, then
-                    // pure register arithmetic). Tick order is preserved
-                    // exactly (probe ticks only on a tag hit; the record
-                    // ticks once more).
-                    probes += 1;
-                    let (set, tag) = self.split(unit);
-                    let base = set * self.config.ways;
-                    let keys = &mut self.keys[base..base + self.config.ways];
-                    let stamps = &mut self.stamps[base..base + self.config.ways];
-                    let mut way = usize::MAX;
-                    for (w, &k) in keys.iter().enumerate().rev() {
-                        if k >> 1 == tag {
-                            way = w;
-                        }
-                    }
-                    if let Some(stamp) = stamps.get_mut(way) {
-                        self.clock += 1;
-                        *stamp = self.clock;
-                        if keys[way] & 1 != 0 {
-                            filtered += 1;
-                            assert!(
-                                !would_hit,
-                                "UNSAFE FILTER: EJ-{}x{} filtered a snoop to cached unit {unit} on node {node}",
-                                self.config.sets, self.config.ways
-                            );
-                        } else if !would_hit && scope == MissScope::Block {
-                            self.records += 1;
-                            keys[way] |= 1;
-                            self.clock += 1;
-                            stamps[way] = self.clock;
-                        }
-                    } else if !would_hit && scope == MissScope::Block {
-                        self.records += 1;
-                        self.clock += 1;
-                        // First-minimum scan == `min_by_key` over the set.
-                        let mut victim = 0;
-                        let mut oldest = stamps[0];
-                        for (w, &s) in stamps.iter().enumerate().skip(1) {
-                            if s < oldest {
-                                oldest = s;
-                                victim = w;
-                            }
-                        }
-                        keys[victim] = make_key(tag, true);
-                        stamps[victim] = self.clock;
-                    }
-                }
-                crate::FilterEvent::Allocate(unit) => self.on_allocate(unit),
-                crate::FilterEvent::Deallocate(unit) => self.on_deallocate(unit),
+        self.apply_batch_with(kernels::active_level(), events, node);
+    }
+
+    /// [`apply_batch`](ExcludeJetty::apply_batch) with an explicit kernel
+    /// level — the differential-test entry point; both levels produce
+    /// identical observable state (pinned by the `simd_equivalence`
+    /// suite).
+    ///
+    /// The event chunk goes to a single [`kernels::ej_replay`] call
+    /// **as-is** — no gather pass, no scratch copy: the kernel splits
+    /// each unit address with this filter's [`EjGeom`] as it goes and
+    /// fuses the eager probe+record sequence around one lookup per
+    /// snoop, tick order preserved exactly.
+    pub fn apply_batch_with(
+        &mut self,
+        level: SimdLevel,
+        events: &[crate::FilterEvent],
+        node: usize,
+    ) {
+        let out = self.replay_events(level, events, &[]);
+        if let Some(bad) = out.unsafe_at {
+            let crate::FilterEvent::Snoop { unit, .. } = events[bad] else {
+                unreachable!("unsafe_at always indexes a snoop event");
+            };
+            panic!(
+                "UNSAFE FILTER: EJ-{}x{} filtered a snoop to cached unit {unit} on node {node}",
+                self.config.sets, self.config.ways
+            );
+        }
+    }
+
+    /// The address-split geometry handed to the replay kernel; encodes
+    /// exactly the [`split`](ExcludeJetty::split) computation.
+    fn geom(&self) -> EjGeom {
+        EjGeom {
+            block_shift: self.space.block_unit_shift(),
+            set_mask: (self.config.sets - 1) as u64,
+            set_bits: self.set_bits(),
+        }
+    }
+
+    /// Replays one [`crate::FilterEvent`] chunk through a single
+    /// [`kernels::ej_replay`] call and folds the kernel's counters into
+    /// this filter's activity: probe/allocate counts are uniform
+    /// tag-read charges, records/filtered/present-bit writes and the
+    /// LRU clock come back from the kernel. Shared by the standalone
+    /// batch path above and the hybrid's union replay (which passes its
+    /// IJ verdict slice); the caller owns the unsafe-filter panic (the
+    /// hybrid labels it with its own name).
+    pub(crate) fn replay_events(
+        &mut self,
+        level: SimdLevel,
+        events: &[crate::FilterEvent],
+        ij_filtered: &[bool],
+    ) -> kernels::ReplayOut {
+        let geom = self.geom();
+        let out = kernels::ej_replay(
+            level,
+            &mut self.keys,
+            &mut self.stamps,
+            self.config.ways,
+            self.clock,
+            geom,
+            events,
+            ij_filtered,
+        );
+        self.clock = out.clock;
+        self.records += out.records;
+        self.allocates += out.allocates;
+        self.activity.probes += out.probes;
+        self.activity.filtered += out.filtered;
+        self.activity.arrays[0].writes += out.writes;
+        out
+    }
+
+    /// [`probe`](SnoopFilter::probe) with an explicit kernel level for the
+    /// way scan — used by the hybrid's batched replay so its EJ side rides
+    /// the same dispatch decision. Observably identical to `probe` at
+    /// every level.
+    pub fn probe_with(&mut self, level: SimdLevel, addr: UnitAddr) -> Verdict {
+        self.activity.probes += 1;
+        let (set, tag) = self.split(addr);
+        let base = set * self.config.ways;
+        if let Some(way) = kernels::find_key(level, &self.keys[base..base + self.config.ways], tag)
+        {
+            let slot = base + way;
+            self.stamps[slot] = self.tick();
+            if self.keys[slot] & 1 != 0 {
+                self.activity.filtered += 1;
+                return Verdict::NotCached;
             }
         }
-        self.activity.probes += probes;
-        self.activity.filtered += filtered;
+        Verdict::MaybeCached
     }
 }
 

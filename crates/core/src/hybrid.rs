@@ -20,6 +20,7 @@ use crate::addr::{AddrSpace, UnitAddr};
 use crate::exclude::{ExcludeConfig, ExcludeJetty};
 use crate::filter::{ArraySpec, FilterActivity, MissScope, SnoopFilter, Verdict};
 use crate::include::{IncludeConfig, IncludeJetty};
+use crate::kernels::{self, SimdLevel};
 use crate::vector_exclude::{VectorExcludeConfig, VectorExcludeJetty};
 
 /// The exclude-side component of a hybrid: scalar or vectored.
@@ -154,6 +155,13 @@ pub struct HybridJetty {
     exclude: ExcludeEngine,
     probes: u64,
     filtered: u64,
+    /// Reusable gather buffer for the eager-ablation replay: the unit
+    /// addresses of one run of consecutive snoop events.
+    scratch_units: Vec<u64>,
+    /// Reusable IJ verdict buffer: the backup-policy replay fills it
+    /// with one verdict per event (shared between the IJ and EJ kernel
+    /// passes); the eager ablation pairs it with `scratch_units`.
+    scratch_absent: Vec<bool>,
 }
 
 impl fmt::Debug for HybridJetty {
@@ -174,7 +182,15 @@ impl HybridJetty {
             ExcludePart::Scalar(c) => ExcludeEngine::Scalar(ExcludeJetty::new(c, space)),
             ExcludePart::Vector(c) => ExcludeEngine::Vector(VectorExcludeJetty::new(c, space)),
         };
-        Self { config, include, exclude, probes: 0, filtered: 0 }
+        Self {
+            config,
+            include,
+            exclude,
+            probes: 0,
+            filtered: 0,
+            scratch_units: Vec::new(),
+            scratch_absent: Vec::new(),
+        }
     }
 
     /// The configuration this filter was built with.
@@ -195,23 +211,111 @@ impl HybridJetty {
     /// side effects, so replay goes through it rather than inlining the
     /// components. `node` only labels the safety panic.
     pub fn apply_batch(&mut self, events: &[crate::FilterEvent], node: usize) {
-        for ev in events {
-            match *ev {
-                crate::FilterEvent::Snoop { unit, would_hit, scope } => {
-                    if self.probe(unit).is_filtered() {
-                        assert!(
-                            !would_hit,
-                            "UNSAFE FILTER: {} filtered a snoop to cached unit {unit} on node {node}",
-                            self.name()
-                        );
-                    } else if !would_hit {
-                        self.record_snoop_miss(unit, scope);
+        self.apply_batch_with(kernels::active_level(), events, node);
+    }
+
+    /// [`apply_batch`](HybridJetty::apply_batch) with an explicit kernel
+    /// level — the differential-test entry point.
+    ///
+    /// Under the paper's backup policy the **same** event chunk is
+    /// replayed by two kernel calls, with no gather pass: the IJ pass
+    /// fills a verdict vector parallel to the chunk (safe to run ahead —
+    /// nothing in the hybrid's snoop handling mutates IJ state, and IJ
+    /// state never depends on the EJ), then the EJ/VEJ pass reads that
+    /// slice to compute union verdicts, records exactly the misses
+    /// neither component filtered, and is the panic authority for unsafe
+    /// filters. The eager-allocation ablation (which mutates the exclude
+    /// part mid-run on IJ-filtered snoops) keeps its per-event replay
+    /// below.
+    pub fn apply_batch_with(
+        &mut self,
+        level: SimdLevel,
+        events: &[crate::FilterEvent],
+        node: usize,
+    ) {
+        if self.config.ej_allocation == EjAllocation::Backup {
+            let mut verdicts = std::mem::take(&mut self.scratch_absent);
+            // IJ pass: verdicts + counter RMWs. Its unsafe index is
+            // ignored — the EJ pass sees the same verdict slice and owns
+            // the union safety check.
+            self.include.replay_events(level, events, Some(&mut verdicts));
+            let out = exclude_dispatch!(&mut self.exclude, replay_events(level, events, &verdicts));
+            self.scratch_absent = verdicts;
+            self.probes += out.probes;
+            self.filtered += out.union_filtered;
+            if let Some(bad) = out.unsafe_at {
+                let crate::FilterEvent::Snoop { unit, .. } = events[bad] else {
+                    unreachable!("unsafe_at always indexes a snoop event");
+                };
+                panic!(
+                    "UNSAFE FILTER: {} filtered a snoop to cached unit {unit} on node {node}",
+                    self.name()
+                );
+            }
+            return;
+        }
+        let mut units = std::mem::take(&mut self.scratch_units);
+        let mut ij_absent = std::mem::take(&mut self.scratch_absent);
+        let mut i = 0;
+        while i < events.len() {
+            match events[i] {
+                crate::FilterEvent::Snoop { .. } => {
+                    units.clear();
+                    ij_absent.clear();
+                    let run = i;
+                    while let Some(&crate::FilterEvent::Snoop { unit, .. }) = events.get(i) {
+                        units.push(unit.raw());
+                        i += 1;
+                    }
+                    self.include.probe_many(level, &units, &mut ij_absent);
+                    for (k, &ij_filtered) in ij_absent.iter().enumerate() {
+                        let crate::FilterEvent::Snoop { unit, would_hit, scope } = events[run + k]
+                        else {
+                            unreachable!("gathered run contains only snoop events");
+                        };
+                        self.probes += 1;
+                        let ej = exclude_dispatch!(&mut self.exclude, probe_with(level, unit));
+                        if ij_filtered || ej.is_filtered() {
+                            // Same eager-ablation sequence as `probe`, per
+                            // event and in order (its p-bit read charges
+                            // are data-dependent).
+                            if self.config.ej_allocation == EjAllocation::Eager && !ej.is_filtered()
+                            {
+                                let block_units = 1u64 << self.include.space().block_unit_shift();
+                                let base = unit.raw() & !(block_units - 1);
+                                let block_absent = (0..block_units).all(|off| {
+                                    self.include.guarantees_absent(UnitAddr::new(base | off))
+                                });
+                                let scope =
+                                    if block_absent { MissScope::Block } else { MissScope::Unit };
+                                exclude_dispatch!(
+                                    &mut self.exclude,
+                                    record_snoop_miss(unit, scope)
+                                );
+                            }
+                            self.filtered += 1;
+                            assert!(
+                                !would_hit,
+                                "UNSAFE FILTER: {} filtered a snoop to cached unit {unit} on node {node}",
+                                self.name()
+                            );
+                        } else if !would_hit {
+                            self.record_snoop_miss(unit, scope);
+                        }
                     }
                 }
-                crate::FilterEvent::Allocate(unit) => self.on_allocate(unit),
-                crate::FilterEvent::Deallocate(unit) => self.on_deallocate(unit),
+                crate::FilterEvent::Allocate(unit) => {
+                    self.on_allocate(unit);
+                    i += 1;
+                }
+                crate::FilterEvent::Deallocate(unit) => {
+                    self.on_deallocate(unit);
+                    i += 1;
+                }
             }
         }
+        self.scratch_units = units;
+        self.scratch_absent = ij_absent;
     }
 }
 

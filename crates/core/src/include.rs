@@ -21,6 +21,7 @@ use std::fmt;
 
 use crate::addr::{AddrSpace, UnitAddr};
 use crate::filter::{ArraySpec, FilterActivity, MissScope, SnoopFilter, Verdict};
+use crate::kernels::{self, SimdLevel};
 
 /// Configuration for an [`IncludeJetty`], the paper's `IJ-ExNxS` naming:
 /// `2^E`-entry sub-arrays, `N` of them, index slices `S` bits apart.
@@ -148,6 +149,9 @@ pub struct IncludeJetty {
     /// while the big counter arrays are touched only by (much rarer)
     /// allocate/deallocate traffic.
     pbits: Vec<u64>,
+    /// Per-sub-array p-bit write counts returned by the replay kernel
+    /// (one slot per sub-array, zeroed before each call).
+    scratch_writes: Vec<u64>,
     /// `on_allocate` calls since the last reset. Every allocate performs
     /// exactly one counter read-modify-write per sub-array, so that
     /// uniform activity is derived in `activity()` instead of bumped per
@@ -183,6 +187,7 @@ impl IncludeJetty {
             space,
             counts,
             pbits,
+            scratch_writes: vec![0u64; config.sub_arrays as usize],
             allocates: 0,
             deallocates: 0,
             activity: FilterActivity::with_arrays(arrays),
@@ -265,35 +270,92 @@ impl IncludeJetty {
     /// safety assertion fires exactly as in the eager path. `node` only
     /// labels the panic.
     pub fn apply_batch(&mut self, events: &[crate::FilterEvent], node: usize) {
-        let mut probes = 0u64;
-        let mut filtered = 0u64;
-        for ev in events {
-            match *ev {
-                crate::FilterEvent::Snoop { unit, would_hit, .. } => {
-                    probes += 1;
-                    let mut absent = false;
-                    for i in 0..self.config.sub_arrays {
-                        let idx = self.index(i, unit);
-                        if !self.pbit(self.flat_slot(i, idx)) {
-                            absent = true;
-                            break;
-                        }
-                    }
-                    if absent {
-                        filtered += 1;
-                        assert!(
-                            !would_hit,
-                            "UNSAFE FILTER: {} filtered a snoop to cached unit {unit} on node {node}",
-                            self.name()
-                        );
-                    }
-                }
-                crate::FilterEvent::Allocate(unit) => self.on_allocate(unit),
-                crate::FilterEvent::Deallocate(unit) => self.on_deallocate(unit),
-            }
+        self.apply_batch_with(kernels::active_level(), events, node);
+    }
+
+    /// [`apply_batch`](IncludeJetty::apply_batch) with an explicit kernel
+    /// level — the differential-test entry point. The event chunk goes
+    /// to a single [`kernels::ij_replay`] call as-is (no gather pass):
+    /// snoop runs batch-test the packed p-bit bitmap four units at a
+    /// time, allocate/deallocate counter read-modify-writes run in event
+    /// order inside the kernel.
+    pub fn apply_batch_with(
+        &mut self,
+        level: SimdLevel,
+        events: &[crate::FilterEvent],
+        node: usize,
+    ) {
+        // Standalone IJ needs no per-event verdicts — only the hybrid's
+        // EJ pass consumes them — so skip the recording entirely.
+        let out = self.replay_events(level, events, None);
+        if let Some(bad) = out.unsafe_at {
+            let crate::FilterEvent::Snoop { unit, .. } = events[bad] else {
+                unreachable!("unsafe_at always indexes a snoop event");
+            };
+            panic!(
+                "UNSAFE FILTER: {} filtered a snoop to cached unit {unit} on node {node}",
+                self.name()
+            );
         }
-        self.activity.probes += probes;
-        self.activity.filtered += filtered;
+    }
+
+    /// Replays one [`crate::FilterEvent`] chunk through a single
+    /// [`kernels::ij_replay`] call. With `verdicts: Some`, one verdict
+    /// per event is pushed (cleared first; `true` only for IJ-filtered
+    /// snoops — the hybrid's EJ pass consumes the parallel slice); the
+    /// standalone batch path passes `None` and skips the recording. The
+    /// kernel's counters fold into this filter's activity: probe and
+    /// counter-RMW counts are uniform charges, the data-dependent
+    /// per-sub-array p-bit writes come back through `scratch_writes`.
+    /// The caller owns the unsafe-filter panic.
+    pub(crate) fn replay_events(
+        &mut self,
+        level: SimdLevel,
+        events: &[crate::FilterEvent],
+        mut verdicts: Option<&mut Vec<bool>>,
+    ) -> kernels::IjReplayOut {
+        if let Some(v) = verdicts.as_deref_mut() {
+            v.clear();
+        }
+        self.scratch_writes.fill(0);
+        let out = kernels::ij_replay(
+            level,
+            &mut self.counts,
+            &mut self.pbits,
+            self.config.index_bits,
+            self.config.sub_arrays,
+            self.config.skip,
+            events,
+            verdicts,
+            &mut self.scratch_writes,
+        );
+        for i in 0..self.config.sub_arrays {
+            self.activity.arrays[Self::pbit_slot(i)].writes += self.scratch_writes[i as usize];
+        }
+        self.allocates += out.allocates;
+        self.deallocates += out.deallocates;
+        self.activity.probes += out.probes;
+        self.activity.filtered += out.filtered;
+        out
+    }
+
+    /// Batched [`probe`](SnoopFilter::probe) over a run of raw snoop unit
+    /// addresses, appending one absent/present verdict per unit to
+    /// `absent` — used by the hybrid's batched replay. Counts probes and
+    /// filtered snoops exactly as per-event `probe` calls would.
+    pub fn probe_many(&mut self, level: SimdLevel, units: &[u64], absent: &mut Vec<bool>) {
+        let start = absent.len();
+        kernels::pbit_test_many(
+            level,
+            &self.pbits,
+            units,
+            self.config.index_bits,
+            self.config.sub_arrays,
+            self.config.skip,
+            absent,
+        );
+        self.activity.probes += units.len() as u64;
+        self.activity.filtered += absent[start..].iter().filter(|&&a| a).count() as u64;
     }
 }
 

@@ -1,0 +1,618 @@
+//! Runtime-dispatched SIMD kernels for the batched snoop replay.
+//!
+//! The chunked runner (ARCHITECTURE §2a) funnels every hot probe loop
+//! through `apply_batch`, which hands each node's whole
+//! [`FilterEvent`] chunk to **one kernel call** — no gather pass, no
+//! scratch copy: the kernel consumes the event array in place, splits
+//! addresses with the filter's [`EjGeom`]/[`VejGeom`] shift/mask
+//! geometry as it goes, and fuses find + probe + record around a single
+//! lookup per snoop. The per-call dispatch cost amortises over
+//! thousands of events and the replay loop compiles as a single AVX2
+//! function. This
+//! module supplies those loops in two interchangeable implementations:
+//! a portable scalar one ([`scalar`], the reference semantics) and an
+//! AVX2 one (`avx2`, `std::arch::x86_64`), selected **once per
+//! process**:
+//!
+//! * `JETTY_SIMD=scalar` / `JETTY_SIMD=avx2` force a path (forcing AVX2
+//!   on a host without it warns and falls back to scalar);
+//! * `JETTY_SIMD=auto` or unset picks AVX2 when
+//!   `is_x86_feature_detected!("avx2")` says the host has it;
+//! * any other value warns and behaves like `auto` — the same
+//!   precedence shape as `JETTY_THREADS`.
+//!
+//! The resolved choice is logged to stderr once (`[simd] …`) so stored
+//! runs can attribute timing drift to dispatch changes, and surfaces in
+//! `--timings` as a `kernel=` tag.
+//!
+//! # Why the lane compares need no empty-way masking
+//!
+//! EJ keys (`tag << 1 | present`) and VEJ tags mark never-used ways with
+//! the all-ones sentinel (`u64::MAX`). Real tags are bounded by the
+//! address space (at most ~34 bits), so a sentinel can never compare
+//! equal to a probe tag: the 4×u64 `_mm256_cmpeq_epi64` sweep over a set
+//! window is alias-free without masking out empty ways. Likewise IJ's
+//! packed p-bit bitmap and the L2 SoA `tags`/`valid` arrays are plain
+//! dense arrays indexed by masked address bits, so gathers stay in
+//! bounds by construction (asserted in the safe wrappers below).
+//!
+//! # Safety structure
+//!
+//! This module and its `avx2` submodule are the **only** places in
+//! `jetty-core` that may use `unsafe` (the crate denies `unsafe_code`
+//! elsewhere, plus `unsafe_op_in_unsafe_fn` everywhere). The AVX2
+//! kernels are safe `#[target_feature(enable = "avx2")]` functions:
+//! inside them, value intrinsics are safe, and the few pointer
+//! operations (unaligned loads, gathers) sit in small `unsafe` blocks
+//! whose bounds are established by slice-length checks or wrapper
+//! assertions. Calling an AVX2 kernel from the dispatchers here is the
+//! one remaining unsafe operation, and it is sound by construction: an
+//! AVX2-flavoured [`SimdLevel`] can only be obtained from
+//! [`SimdLevel::avx2`], which returns one *after* runtime detection
+//! succeeded.
+
+// Kernel signatures pass the filter geometry as flat scalars (shifts,
+// masks, widths) rather than bundling them into structs: the arguments
+// mirror the paper's array parameters one-to-one and keep the hot call
+// ABI register-only.
+#![allow(clippy::too_many_arguments)]
+
+#[cfg(target_arch = "x86_64")]
+mod avx2;
+mod scalar;
+
+use std::sync::OnceLock;
+
+use crate::filter::FilterEvent;
+
+pub use scalar::{L2_BLOCK_PRESENT, L2_SUB_VALID};
+
+/// Capability token naming a kernel implementation.
+///
+/// The inner representation is private so the AVX2 variant cannot be
+/// conjured from thin air: [`SimdLevel::SCALAR`] is always available,
+/// while an AVX2 level exists only via [`SimdLevel::avx2`] (runtime
+/// detection). Every kernel entry point takes an explicit level, so
+/// differential tests and benches can force either path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimdLevel(Level);
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Level {
+    Scalar,
+    Avx2,
+}
+
+impl SimdLevel {
+    /// The portable scalar kernels — always available, reference
+    /// semantics for the differential tests.
+    pub const SCALAR: SimdLevel = SimdLevel(Level::Scalar);
+
+    /// The AVX2 kernels, if this host supports them. Returning the
+    /// token only after `is_x86_feature_detected!("avx2")` succeeds is
+    /// what makes the dispatchers' unsafe calls sound.
+    pub fn avx2() -> Option<SimdLevel> {
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return Some(SimdLevel(Level::Avx2));
+        }
+        None
+    }
+
+    /// `true` when this level runs the AVX2 kernels.
+    pub fn is_avx2(self) -> bool {
+        matches!(self.0, Level::Avx2)
+    }
+
+    /// Stable lowercase name (`"scalar"` / `"avx2"`) used by the
+    /// `[simd]` log line and the `--timings` `kernel=` tag.
+    pub fn name(self) -> &'static str {
+        match self.0 {
+            Level::Scalar => "scalar",
+            Level::Avx2 => "avx2",
+        }
+    }
+}
+
+/// Kernel family named by [`resolve_simd`] — the pure decision, *before*
+/// the capability check that [`active_level`] performs. Kept separate
+/// from [`SimdLevel`] so the precedence rules are unit-testable with a
+/// pretend `avx2_available` without ever minting a capability token the
+/// host cannot honour.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelChoice {
+    /// Portable scalar kernels.
+    Scalar,
+    /// AVX2 kernels.
+    Avx2,
+}
+
+/// Outcome of the `JETTY_SIMD` resolution (pure; mirrors the
+/// `JETTY_THREADS` decision struct in the experiment engine).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimdDecision {
+    /// The kernel family to use.
+    pub choice: KernelChoice,
+    /// The `JETTY_SIMD` value, when present but not one of
+    /// `auto`/`avx2`/`scalar` (warned about, then treated as `auto`).
+    pub invalid_env: Option<String>,
+    /// `true` when `JETTY_SIMD=avx2` was requested but the host lacks
+    /// AVX2 (warned about, then scalar).
+    pub forced_unavailable: bool,
+    /// `true` when a valid `JETTY_SIMD` value decided the outcome
+    /// (including an explicit `auto`).
+    pub from_env: bool,
+}
+
+/// Precedence: a valid `JETTY_SIMD` wins (`avx2` downgrading with a
+/// warning when unavailable); otherwise auto-detection.
+pub fn resolve_simd(env: Option<&str>, avx2_available: bool) -> SimdDecision {
+    let auto = if avx2_available { KernelChoice::Avx2 } else { KernelChoice::Scalar };
+    let mut invalid_env = None;
+    if let Some(v) = env {
+        match v.trim() {
+            "scalar" => {
+                return SimdDecision {
+                    choice: KernelChoice::Scalar,
+                    invalid_env: None,
+                    forced_unavailable: false,
+                    from_env: true,
+                }
+            }
+            "avx2" => {
+                return SimdDecision {
+                    choice: auto,
+                    invalid_env: None,
+                    forced_unavailable: !avx2_available,
+                    from_env: true,
+                }
+            }
+            "auto" => {
+                return SimdDecision {
+                    choice: auto,
+                    invalid_env: None,
+                    forced_unavailable: false,
+                    from_env: true,
+                }
+            }
+            other => invalid_env = Some(other.to_string()),
+        }
+    }
+    SimdDecision { choice: auto, invalid_env, forced_unavailable: false, from_env: false }
+}
+
+/// The process-wide kernel level: `JETTY_SIMD` resolved against runtime
+/// detection on first use, then cached. Logs the decision (and any
+/// warnings) to stderr exactly once so every run records which kernels
+/// produced its numbers.
+pub fn active_level() -> SimdLevel {
+    static LEVEL: OnceLock<SimdLevel> = OnceLock::new();
+    *LEVEL.get_or_init(|| {
+        let env = std::env::var("JETTY_SIMD").ok();
+        let available = SimdLevel::avx2().is_some();
+        let decision = resolve_simd(env.as_deref(), available);
+        if let Some(v) = &decision.invalid_env {
+            eprintln!("warning: ignoring invalid JETTY_SIMD={v:?} (want auto, avx2, or scalar)");
+        }
+        if decision.forced_unavailable {
+            eprintln!(
+                "warning: JETTY_SIMD=avx2 requested but this host lacks AVX2; \
+                 using scalar kernels"
+            );
+        }
+        let level = match decision.choice {
+            KernelChoice::Scalar => SimdLevel::SCALAR,
+            // Re-checked against detection rather than trusted: the
+            // choice is pure data, the token is a capability.
+            KernelChoice::Avx2 => SimdLevel::avx2().unwrap_or(SimdLevel::SCALAR),
+        };
+        let source = if decision.from_env {
+            "JETTY_SIMD override"
+        } else if available {
+            "auto-detected"
+        } else {
+            "auto: no avx2"
+        };
+        eprintln!("[simd] kernel dispatch: {} ({source})", level.name());
+        level
+    })
+}
+
+/// Address-split geometry of an Exclude-Jetty, precomputed so the
+/// replay kernel can turn a raw unit address into (set, tag) with two
+/// shifts and a mask — no per-event method calls back into the filter.
+#[derive(Clone, Copy, Debug)]
+pub struct EjGeom {
+    /// Right-shift turning a raw unit address into a block address.
+    pub block_shift: u32,
+    /// `sets - 1`: the set-index mask applied to the block address.
+    pub set_mask: u64,
+    /// `log2(sets)`: the tag shift.
+    pub set_bits: u32,
+}
+
+/// Address-split geometry of a Vector-Exclude-Jetty: like [`EjGeom`]
+/// with a present-vector lane peeled off the block address first.
+#[derive(Clone, Copy, Debug)]
+pub struct VejGeom {
+    /// Right-shift turning a raw unit address into a block address.
+    pub block_shift: u32,
+    /// `vector_len - 1`: the lane mask applied to the block address.
+    pub lane_mask: u64,
+    /// `log2(vector_len)`: the chunk shift.
+    pub lane_bits: u32,
+    /// `sets - 1`: the set-index mask applied to the chunk address.
+    pub set_mask: u64,
+    /// `log2(sets)`: the tag shift.
+    pub set_bits: u32,
+}
+
+/// Result of replaying one event chunk through an EJ/VEJ kernel.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReplayOut {
+    /// Snoop events in the chunk (uniform tag-read probe charges).
+    pub probes: u64,
+    /// Allocate events in the chunk (uniform tag-read charges).
+    pub allocates: u64,
+    /// Snoops this component itself answered `NotCached`.
+    pub filtered: u64,
+    /// Snoops filtered by this component *or* by the paired IJ verdict
+    /// slice — the hybrid's union verdict count. Equals `filtered` for
+    /// standalone replays.
+    pub union_filtered: u64,
+    /// Block records inserted or refreshed.
+    pub records: u64,
+    /// Tag-array writes caused by allocate events clearing a present
+    /// bit/lane.
+    pub writes: u64,
+    /// The LRU clock after the chunk.
+    pub clock: u64,
+    /// Index (into the event chunk) of the first snoop whose union
+    /// verdict filtered a `would_hit` event — an unsafe-filter bug the
+    /// caller must turn into the standard panic (the kernel stops
+    /// there, exactly where the eager path would have panicked).
+    pub unsafe_at: Option<usize>,
+}
+
+/// Result of replaying one event chunk through the IJ kernel.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IjReplayOut {
+    /// Snoop events in the chunk (uniform p-bit-read probe charges).
+    pub probes: u64,
+    /// Allocate events in the chunk (uniform counter-RMW charges).
+    pub allocates: u64,
+    /// Deallocate events in the chunk (uniform counter-RMW charges).
+    pub deallocates: u64,
+    /// Snoops the Include-Jetty answered `NotCached` (each also pushed
+    /// as `true` into the verdict vector).
+    pub filtered: u64,
+    /// Index of the first snoop that filtered a `would_hit` event. The
+    /// kernel keeps going (the hybrid's EJ/VEJ pass is the panic
+    /// authority and must see every verdict); a standalone IJ replay
+    /// panics on it after the call, and any state mutated past that
+    /// point is unobservable behind the panic.
+    pub unsafe_at: Option<usize>,
+}
+
+macro_rules! dispatch {
+    ($level:expr, $name:ident ( $($arg:expr),* $(,)? )) => {
+        match $level.0 {
+            Level::Scalar => scalar::$name($($arg),*),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: an AVX2 `SimdLevel` is only constructible through
+            // `SimdLevel::avx2()`, which returns one after
+            // `is_x86_feature_detected!("avx2")` succeeded on this
+            // host, so the target-feature contract holds.
+            #[allow(unsafe_code)]
+            Level::Avx2 => unsafe { avx2::$name($($arg),*) },
+            #[cfg(not(target_arch = "x86_64"))]
+            Level::Avx2 => unreachable!("AVX2 level cannot exist off x86_64"),
+        }
+    };
+}
+
+/// Lowest way index in an EJ set window whose key matches `tag`
+/// (`key >> 1 == tag`; the all-ones empty key never aliases a real
+/// tag). `keys` is one set's contiguous key window.
+pub fn find_key(level: SimdLevel, keys: &[u64], tag: u64) -> Option<usize> {
+    dispatch!(level, find_key_ej(keys, tag))
+}
+
+/// Lowest way index in a VEJ set window whose tag equals `tag` (the
+/// all-ones empty tag never aliases a real chunk tag).
+pub fn find_tag(level: SimdLevel, tags: &[u64], tag: u64) -> Option<usize> {
+    dispatch!(level, find_key_vej(tags, tag))
+}
+
+/// Replays one [`FilterEvent`] chunk against an Exclude-Jetty's flat
+/// `keys`/`stamps` arrays, splitting each unit address with `geom` as
+/// it goes. Snoops: find (kernel scan), LRU stamp on hit,
+/// filtered/record bookkeeping, first-minimum victim scan on recordable
+/// misses — bit-for-bit the logic of the eager probe + record sequence.
+/// Allocates: find + clear the present bit (counted in
+/// [`ReplayOut::writes`]). Deallocates: a no-op.
+///
+/// `ij_filtered` is the hybrid's IJ verdict slice, parallel to
+/// `events` (one `bool` per event, `true` only for IJ-filtered
+/// snoops); pass an empty slice for a standalone replay. An
+/// IJ-filtered snoop is treated as already filtered: it cannot record,
+/// and it counts toward [`ReplayOut::union_filtered`] and the
+/// unsafe-filter check.
+///
+/// # Panics
+///
+/// Panics if `ways` is zero, the arrays' lengths differ from
+/// `sets * ways` per `geom`, or `ij_filtered` is neither empty nor
+/// parallel to `events`.
+pub fn ej_replay(
+    level: SimdLevel,
+    keys: &mut [u64],
+    stamps: &mut [u64],
+    ways: usize,
+    clock: u64,
+    geom: EjGeom,
+    events: &[FilterEvent],
+    ij_filtered: &[bool],
+) -> ReplayOut {
+    assert!(ways > 0, "EJ replay needs a nonzero associativity");
+    assert_eq!(keys.len(), stamps.len(), "EJ keys and stamps must be parallel");
+    assert_eq!(
+        keys.len(),
+        (geom.set_mask as usize + 1) * ways,
+        "EJ arrays must hold sets * ways entries"
+    );
+    assert!(
+        ij_filtered.is_empty() || ij_filtered.len() == events.len(),
+        "IJ verdict slice must be empty or parallel to the event chunk"
+    );
+    dispatch!(level, ej_replay(keys, stamps, ways, clock, geom, events, ij_filtered))
+}
+
+/// Replays one [`FilterEvent`] chunk against a Vector-Exclude-Jetty's
+/// flat `tags`/`vectors`/`stamps` arrays (the [`ej_replay`] logic with
+/// a present-vector lane test in place of the present bit; `geom`
+/// additionally peels the lane off the block address).
+///
+/// # Panics
+///
+/// Panics if `ways` is zero, the arrays' lengths differ from
+/// `sets * ways` per `geom`, or `ij_filtered` is neither empty nor
+/// parallel to `events`.
+pub fn vej_replay(
+    level: SimdLevel,
+    tags: &mut [u64],
+    vectors: &mut [u64],
+    stamps: &mut [u64],
+    ways: usize,
+    clock: u64,
+    geom: VejGeom,
+    events: &[FilterEvent],
+    ij_filtered: &[bool],
+) -> ReplayOut {
+    assert!(ways > 0, "VEJ replay needs a nonzero associativity");
+    assert_eq!(tags.len(), vectors.len(), "VEJ tags and vectors must be parallel");
+    assert_eq!(tags.len(), stamps.len(), "VEJ tags and stamps must be parallel");
+    assert_eq!(
+        tags.len(),
+        (geom.set_mask as usize + 1) * ways,
+        "VEJ arrays must hold sets * ways entries"
+    );
+    assert!(
+        ij_filtered.is_empty() || ij_filtered.len() == events.len(),
+        "IJ verdict slice must be empty or parallel to the event chunk"
+    );
+    dispatch!(level, vej_replay(tags, vectors, stamps, ways, clock, geom, events, ij_filtered))
+}
+
+/// Replays one [`FilterEvent`] chunk against an Include-Jetty's
+/// `counts`/`pbits` arrays. Snoops batch-test the packed p-bit bitmap
+/// (4 units per AVX2 iteration within each run of consecutive snoops,
+/// skipping remaining sub-arrays once every lane is decided absent);
+/// allocates/deallocates perform the counter read-modify-writes in
+/// event order, accumulating the data-dependent p-bit writes per
+/// sub-array into `pbit_writes`. When `verdicts` is `Some`, one verdict
+/// per event is appended (`true` only for IJ-filtered snoops), keeping
+/// it parallel to `events` for the hybrid's EJ/VEJ pass; standalone
+/// callers pass `None` and the kernels skip verdict recording entirely
+/// (the counters and `unsafe_at` carry everything a lone IJ needs).
+///
+/// # Panics
+///
+/// Panics unless `sub_arrays >= 1`, `index_bits < 32`, `counts` holds
+/// exactly `sub_arrays << index_bits` entries covered by `pbits`, and
+/// `pbit_writes` has one slot per sub-array — the bounds that keep the
+/// AVX2 gathers in range. Also panics (via the kernels) on counter
+/// saturation/underflow, exactly like the eager
+/// allocate/deallocate paths.
+pub fn ij_replay(
+    level: SimdLevel,
+    counts: &mut [u16],
+    pbits: &mut [u64],
+    index_bits: u32,
+    sub_arrays: u32,
+    skip: u32,
+    events: &[FilterEvent],
+    verdicts: Option<&mut Vec<bool>>,
+    pbit_writes: &mut [u64],
+) -> IjReplayOut {
+    assert!(sub_arrays >= 1, "IJ needs at least one sub-array");
+    assert!(index_bits < 32, "IJ index width out of range");
+    assert_eq!(
+        counts.len(),
+        (sub_arrays as usize) << index_bits,
+        "IJ counts must hold sub_arrays << index_bits entries"
+    );
+    assert!(
+        pbits.len() * 64 >= counts.len(),
+        "p-bit bitmap too small for {sub_arrays} sub-arrays of 2^{index_bits} entries"
+    );
+    assert_eq!(pbit_writes.len(), sub_arrays as usize, "one p-bit write counter per sub-array");
+    dispatch!(
+        level,
+        ij_replay(counts, pbits, index_bits, sub_arrays, skip, events, verdicts, pbit_writes)
+    )
+}
+
+/// Batch-tests IJ's packed p-bit bitmap for a run of snoop unit
+/// addresses, appending one `bool` per unit to `absent` (`true` = some
+/// selected p-bit is clear, i.e. the unit is guaranteed absent).
+/// Sub-array `i` is indexed by bits `[i*skip, i*skip + index_bits)` of
+/// the unit; its entry `idx` lives at packed bit `(i << index_bits) |
+/// idx` of `pbits`.
+///
+/// # Panics
+///
+/// Panics unless `sub_arrays >= 1`, `index_bits < 32`, and `pbits`
+/// holds all `sub_arrays << index_bits` bits — the bounds that keep the
+/// AVX2 gathers in range.
+pub fn pbit_test_many(
+    level: SimdLevel,
+    pbits: &[u64],
+    units: &[u64],
+    index_bits: u32,
+    sub_arrays: u32,
+    skip: u32,
+    absent: &mut Vec<bool>,
+) {
+    assert!(sub_arrays >= 1, "IJ needs at least one sub-array");
+    assert!(index_bits < 32, "IJ index width out of range");
+    assert!(
+        pbits.len() * 64 >= (sub_arrays as usize) << index_bits,
+        "p-bit bitmap too small for {sub_arrays} sub-arrays of 2^{index_bits} entries"
+    );
+    dispatch!(level, pbit_test_many(pbits, units, index_bits, sub_arrays, skip, absent))
+}
+
+/// Batch L2 snoop probe over the SoA `tags`/`valid` arrays, appending
+/// one flag byte per unit to `out` ([`L2_BLOCK_PRESENT`] /
+/// [`L2_SUB_VALID`]). The caller reads the MOESI `states` array only
+/// for units whose subblock is valid, so tag and valid-mask loads
+/// stream instead of pointer-chasing per event.
+///
+/// # Panics
+///
+/// Panics unless `sub_bits <= 6` (the valid mask is one `u64` per
+/// block), `index_bits < 48`, and both arrays hold `1 << index_bits`
+/// sets — the bounds that keep the AVX2 gathers in range.
+pub fn snoop_probe_many(
+    level: SimdLevel,
+    tags: &[u64],
+    valid: &[u64],
+    units: &[u64],
+    sub_bits: u32,
+    index_bits: u32,
+    out: &mut Vec<u8>,
+) {
+    assert!(sub_bits <= 6, "valid mask is one u64 per block");
+    assert!(index_bits < 48, "L2 index width out of range");
+    assert_eq!(tags.len(), valid.len(), "L2 tags and valid must be parallel");
+    assert!(tags.len() >= 1usize << index_bits, "L2 arrays smaller than the index space");
+    dispatch!(level, l2_probe_many(tags, valid, units, sub_bits, index_bits, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_override_takes_precedence() {
+        for avail in [false, true] {
+            let d = resolve_simd(Some("scalar"), avail);
+            assert_eq!(d.choice, KernelChoice::Scalar, "avail={avail}");
+            assert!(d.from_env && d.invalid_env.is_none() && !d.forced_unavailable);
+        }
+        let d = resolve_simd(Some("avx2"), true);
+        assert_eq!(d.choice, KernelChoice::Avx2);
+        assert!(d.from_env && !d.forced_unavailable);
+        // Values are trimmed like JETTY_THREADS.
+        assert_eq!(resolve_simd(Some(" scalar "), true).choice, KernelChoice::Scalar);
+    }
+
+    #[test]
+    fn forcing_avx2_without_hardware_downgrades_with_a_flag() {
+        let d = resolve_simd(Some("avx2"), false);
+        assert_eq!(d.choice, KernelChoice::Scalar);
+        assert!(d.forced_unavailable, "the downgrade must be loud");
+        assert!(d.invalid_env.is_none());
+    }
+
+    #[test]
+    fn auto_and_unset_follow_detection() {
+        for env in [None, Some("auto")] {
+            assert_eq!(resolve_simd(env, true).choice, KernelChoice::Avx2, "env={env:?}");
+            assert_eq!(resolve_simd(env, false).choice, KernelChoice::Scalar, "env={env:?}");
+            assert!(!resolve_simd(env, true).forced_unavailable);
+        }
+        assert!(resolve_simd(Some("auto"), true).from_env);
+        assert!(!resolve_simd(None, true).from_env);
+    }
+
+    #[test]
+    fn invalid_values_warn_and_fall_back_to_auto() {
+        for bad in ["", "AVX2", "sse", "1"] {
+            let d = resolve_simd(Some(bad), true);
+            assert_eq!(d.choice, KernelChoice::Avx2, "JETTY_SIMD={bad:?}");
+            assert_eq!(d.invalid_env.as_deref(), Some(bad.trim()));
+            assert!(!d.from_env);
+        }
+    }
+
+    #[test]
+    fn level_tokens_report_their_names() {
+        assert_eq!(SimdLevel::SCALAR.name(), "scalar");
+        assert!(!SimdLevel::SCALAR.is_avx2());
+        if let Some(l) = SimdLevel::avx2() {
+            assert_eq!(l.name(), "avx2");
+            assert!(l.is_avx2());
+        }
+        assert!(["scalar", "avx2"].contains(&active_level().name()));
+    }
+
+    /// Every kernel pair, smoke-compared on both levels when the host
+    /// has AVX2 (the exhaustive comparison lives in the
+    /// `simd_equivalence` proptest).
+    #[test]
+    fn avx2_kernels_match_scalar_on_a_smoke_input() {
+        let Some(avx2) = SimdLevel::avx2() else {
+            eprintln!("note: AVX2 unavailable; kernel smoke comparison skipped");
+            return;
+        };
+        // find over a sentinel-padded window, all widths 1..=9.
+        for ways in 1..=9usize {
+            let mut keys = vec![u64::MAX; ways];
+            if ways > 1 {
+                keys[ways / 2] = 77u64 << 1 | 1;
+            }
+            keys[ways - 1] = 42u64 << 1;
+            for tag in [0u64, 42, 77, u64::MAX >> 1] {
+                assert_eq!(
+                    find_key(SimdLevel::SCALAR, &keys, tag),
+                    find_key(avx2, &keys, tag),
+                    "ways={ways} tag={tag}"
+                );
+                assert_eq!(
+                    find_tag(SimdLevel::SCALAR, &keys, tag),
+                    find_tag(avx2, &keys, tag),
+                    "ways={ways} tag={tag}"
+                );
+            }
+        }
+        // p-bit batch over a mixed bitmap, including a non-multiple-of-4
+        // tail.
+        let pbits: Vec<u64> = (0..8).map(|i| 0x5555_5555_5555_5555u64.rotate_left(i)).collect();
+        let units: Vec<u64> = (0..13).map(|i| i * 0x9E37_79B9u64).collect();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        pbit_test_many(SimdLevel::SCALAR, &pbits, &units, 7, 4, 11, &mut a);
+        pbit_test_many(avx2, &pbits, &units, 7, 4, 11, &mut b);
+        assert_eq!(a, b);
+        // L2 probe over a small populated cache image.
+        let sets = 1usize << 5;
+        let tags: Vec<u64> = (0..sets as u64).map(|i| i * 3 % 7).collect();
+        let valid: Vec<u64> = (0..sets as u64).map(|i| if i % 3 == 0 { 0 } else { i }).collect();
+        let units: Vec<u64> = (0..23).map(|i| i * 0x0123_4567u64 % (1 << 12)).collect();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        snoop_probe_many(SimdLevel::SCALAR, &tags, &valid, &units, 1, 5, &mut a);
+        snoop_probe_many(avx2, &tags, &valid, &units, 1, 5, &mut b);
+        assert_eq!(a, b);
+    }
+}

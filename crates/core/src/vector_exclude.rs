@@ -19,6 +19,7 @@ use std::fmt;
 
 use crate::addr::{AddrSpace, UnitAddr};
 use crate::filter::{ArrayActivity, ArraySpec, FilterActivity, MissScope, SnoopFilter, Verdict};
+use crate::kernels::{self, SimdLevel, VejGeom};
 
 /// Configuration for a [`VectorExcludeJetty`], the paper's `VEJ-SxA-V`
 /// naming.
@@ -215,66 +216,93 @@ impl VectorExcludeJetty {
     /// arrays cache-resident across the batch. `node` only labels the
     /// safety panic.
     pub fn apply_batch(&mut self, events: &[crate::FilterEvent], node: usize) {
-        let mut probes = 0u64;
-        let mut filtered = 0u64;
-        for ev in events {
-            match *ev {
-                crate::FilterEvent::Snoop { unit, would_hit, scope } => {
-                    // Fused probe + record around one split/find, exactly
-                    // as in `ExcludeJetty::apply_batch` (the intermediate
-                    // find in the eager sequence sees unchanged state, and
-                    // the tick order is preserved).
-                    probes += 1;
-                    let (set, tag, lane) = self.split(unit);
-                    let base = set * self.config.ways;
-                    let tags = &mut self.tags[base..base + self.config.ways];
-                    let vectors = &mut self.vectors[base..base + self.config.ways];
-                    let stamps = &mut self.stamps[base..base + self.config.ways];
-                    let mut way = usize::MAX;
-                    for (w, &t) in tags.iter().enumerate().rev() {
-                        if t == tag {
-                            way = w;
-                        }
-                    }
-                    if let Some(stamp) = stamps.get_mut(way) {
-                        self.clock += 1;
-                        *stamp = self.clock;
-                        if vectors[way] & (1u64 << lane) != 0 {
-                            filtered += 1;
-                            assert!(
-                                !would_hit,
-                                "UNSAFE FILTER: VEJ-{}x{}-{} filtered a snoop to cached unit {unit} on node {node}",
-                                self.config.sets, self.config.ways, self.config.vector_len
-                            );
-                        } else if !would_hit && scope == MissScope::Block {
-                            self.records += 1;
-                            vectors[way] |= 1u64 << lane;
-                            self.clock += 1;
-                            stamps[way] = self.clock;
-                        }
-                    } else if !would_hit && scope == MissScope::Block {
-                        self.records += 1;
-                        self.clock += 1;
-                        // First-minimum scan == `min_by_key` over the set.
-                        let mut victim = 0;
-                        let mut oldest = stamps[0];
-                        for (w, &s) in stamps.iter().enumerate().skip(1) {
-                            if s < oldest {
-                                oldest = s;
-                                victim = w;
-                            }
-                        }
-                        tags[victim] = tag;
-                        vectors[victim] = 1u64 << lane;
-                        stamps[victim] = self.clock;
-                    }
-                }
-                crate::FilterEvent::Allocate(unit) => self.on_allocate(unit),
-                crate::FilterEvent::Deallocate(unit) => self.on_deallocate(unit),
+        self.apply_batch_with(kernels::active_level(), events, node);
+    }
+
+    /// [`apply_batch`](VectorExcludeJetty::apply_batch) with an explicit
+    /// kernel level — the differential-test entry point. The event chunk
+    /// goes to a single [`kernels::vej_replay`] call as-is (no gather
+    /// pass; the kernel splits each address with this filter's
+    /// [`VejGeom`]); see
+    /// [`ExcludeJetty::apply_batch_with`](crate::ExcludeJetty::apply_batch_with).
+    pub fn apply_batch_with(
+        &mut self,
+        level: SimdLevel,
+        events: &[crate::FilterEvent],
+        node: usize,
+    ) {
+        let out = self.replay_events(level, events, &[]);
+        if let Some(bad) = out.unsafe_at {
+            let crate::FilterEvent::Snoop { unit, .. } = events[bad] else {
+                unreachable!("unsafe_at always indexes a snoop event");
+            };
+            panic!(
+                "UNSAFE FILTER: VEJ-{}x{}-{} filtered a snoop to cached unit {unit} on node {node}",
+                self.config.sets, self.config.ways, self.config.vector_len
+            );
+        }
+    }
+
+    /// The address-split geometry handed to the replay kernel; encodes
+    /// exactly the [`split`](VectorExcludeJetty::split) computation.
+    fn geom(&self) -> VejGeom {
+        VejGeom {
+            block_shift: self.space.block_unit_shift(),
+            lane_mask: (self.config.vector_len - 1) as u64,
+            lane_bits: self.lane_bits(),
+            set_mask: (self.config.sets - 1) as u64,
+            set_bits: self.set_bits(),
+        }
+    }
+
+    /// Replays one [`crate::FilterEvent`] chunk through a single
+    /// [`kernels::vej_replay`] call; counter mapping exactly as in
+    /// [`ExcludeJetty::replay_events`](crate::ExcludeJetty) (the caller
+    /// owns the unsafe-filter panic).
+    pub(crate) fn replay_events(
+        &mut self,
+        level: SimdLevel,
+        events: &[crate::FilterEvent],
+        ij_filtered: &[bool],
+    ) -> kernels::ReplayOut {
+        let geom = self.geom();
+        let out = kernels::vej_replay(
+            level,
+            &mut self.tags,
+            &mut self.vectors,
+            &mut self.stamps,
+            self.config.ways,
+            self.clock,
+            geom,
+            events,
+            ij_filtered,
+        );
+        self.clock = out.clock;
+        self.records += out.records;
+        self.allocates += out.allocates;
+        self.activity.probes += out.probes;
+        self.activity.filtered += out.filtered;
+        self.activity.arrays[0].writes += out.writes;
+        out
+    }
+
+    /// [`probe`](SnoopFilter::probe) with an explicit kernel level for the
+    /// way scan — used by the hybrid's batched replay. Observably
+    /// identical to `probe` at every level.
+    pub fn probe_with(&mut self, level: SimdLevel, addr: UnitAddr) -> Verdict {
+        self.activity.probes += 1;
+        let (set, tag, lane) = self.split(addr);
+        let base = set * self.config.ways;
+        if let Some(way) = kernels::find_tag(level, &self.tags[base..base + self.config.ways], tag)
+        {
+            let slot = base + way;
+            self.stamps[slot] = self.tick();
+            if self.vectors[slot] & (1u64 << lane) != 0 {
+                self.activity.filtered += 1;
+                return Verdict::NotCached;
             }
         }
-        self.activity.probes += probes;
-        self.activity.filtered += filtered;
+        Verdict::MaybeCached
     }
 }
 

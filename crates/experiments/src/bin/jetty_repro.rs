@@ -456,12 +456,13 @@ fn main() -> ExitCode {
         }
         for t in engine.take_timings() {
             eprintln!(
-                "[timing] suite {}: {:.3}s across {} jobs (gen {:.3}s, sim {:.3}s)",
+                "[timing] suite {}: {:.3}s across {} jobs (gen {:.3}s, sim {:.3}s) kernel={}",
                 t.options.describe(),
                 t.elapsed.as_secs_f64(),
                 t.jobs,
                 t.gen.as_secs_f64(),
-                t.sim.as_secs_f64()
+                t.sim.as_secs_f64(),
+                t.kernel
             );
         }
     };

@@ -147,6 +147,11 @@ pub struct SuiteTiming {
     /// Time the jobs spent simulating those chunks (summed across jobs;
     /// part of `elapsed`).
     pub sim: Duration,
+    /// Name of the replay-kernel level the suite ran with
+    /// (`"scalar"`/`"avx2"`, from [`jetty_core::kernels::active_level`]) —
+    /// surfaced as the `kernel=` tag in `--timings` so stored timings can
+    /// attribute drift to dispatch changes.
+    pub kernel: &'static str,
 }
 
 /// The worker-pool executor. Built once per process (or per benchmark
@@ -342,6 +347,7 @@ impl Engine {
             splits[job.suite].gen += split.gen;
             splits[job.suite].sim += split.sim;
         }
+        let kernel = jetty_core::kernels::active_level().name();
         let mut log = self.timings.lock().expect("timing log poisoned");
         for ((options, took), split) in suites.iter().zip(&elapsed).zip(&splits) {
             log.push(SuiteTiming {
@@ -350,6 +356,7 @@ impl Engine {
                 jobs: profiles.len(),
                 gen: split.gen,
                 sim: split.sim,
+                kernel,
             });
         }
         out

@@ -22,6 +22,7 @@
 //! invariant `states[u].is_valid() ⇔ mask bit set` (and `versions[u] == 0`
 //! whenever the state is Invalid) is maintained by every mutation below.
 
+use jetty_core::kernels::{self, SimdLevel};
 use jetty_core::UnitAddr;
 
 use crate::config::L2Config;
@@ -138,6 +139,31 @@ impl L2Cache {
             Moesi::Invalid
         };
         (state, block_present)
+    }
+
+    /// Batched twin of [`L2Cache::snoop_probe`] for the read-only
+    /// questions: appends one flag byte per raw unit address to `out`
+    /// ([`kernels::L2_BLOCK_PRESENT`] / [`kernels::L2_SUB_VALID`]), with
+    /// the tag and valid-mask loads streaming over the SoA arrays
+    /// instead of pointer-chasing per event. The caller reads the MOESI
+    /// `states` array only for units whose subblock is valid.
+    pub fn snoop_probe_many(&self, units: &[u64], out: &mut Vec<u8>) {
+        self.snoop_probe_many_with(kernels::active_level(), units, out);
+    }
+
+    /// [`snoop_probe_many`](L2Cache::snoop_probe_many) with an explicit
+    /// kernel level, so differential tests can pin the scalar and AVX2
+    /// probe kernels against each other on the same cache image.
+    pub fn snoop_probe_many_with(&self, level: SimdLevel, units: &[u64], out: &mut Vec<u8>) {
+        kernels::snoop_probe_many(
+            level,
+            &self.tags,
+            &self.valid,
+            units,
+            self.sub_bits,
+            self.index_bits,
+            out,
+        );
     }
 
     /// Data version of `unit`; 0 when absent.
@@ -435,6 +461,23 @@ mod tests {
         let evicted = l2.fill(UnitAddr::new(4), Moesi::Shared, 2);
         assert_eq!(evicted.len(), 1);
         assert_eq!(evicted[0].unit, UnitAddr::new(0));
+    }
+
+    #[test]
+    fn snoop_probe_many_matches_per_unit_probes() {
+        let mut l2 = small();
+        l2.fill(UnitAddr::new(0), Moesi::Shared, 1);
+        l2.fill(UnitAddr::new(9), Moesi::Modified, 2);
+        let units: Vec<u64> = (0..32).collect();
+        let mut flags = Vec::new();
+        l2.snoop_probe_many(&units, &mut flags);
+        assert_eq!(flags.len(), units.len());
+        for (&u, &f) in units.iter().zip(&flags) {
+            let unit = UnitAddr::new(u);
+            let (state, block_present) = l2.snoop_probe(unit);
+            assert_eq!(f & kernels::L2_BLOCK_PRESENT != 0, block_present, "unit {u}");
+            assert_eq!(f & kernels::L2_SUB_VALID != 0, state.is_valid(), "unit {u}");
+        }
     }
 
     #[test]

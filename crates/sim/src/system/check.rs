@@ -104,13 +104,23 @@ impl System {
         }
     }
 
-    /// Verifies L1 ⊆ L2 inclusion exhaustively (tests; O(L1 size)).
+    /// Verifies L1 ⊆ L2 inclusion exhaustively (tests; O(L1 size)). Each
+    /// node's whole L1 population goes through one batched
+    /// [`snoop_probe_many`](crate::l2::L2Cache::snoop_probe_many) sweep
+    /// instead of per-unit lookups.
     pub fn verify_inclusion(&self) {
+        let mut units = Vec::new();
+        let mut flags = Vec::new();
         for (i, node) in self.nodes.iter().enumerate() {
-            for unit in node.l1.valid_units() {
+            units.clear();
+            units.extend(node.l1.valid_units().map(|u| u.raw()));
+            flags.clear();
+            node.l2.snoop_probe_many(&units, &mut flags);
+            for (&u, &f) in units.iter().zip(&flags) {
                 assert!(
-                    node.l2.state(unit).is_valid(),
-                    "inclusion violated on node {i}: {unit} in L1 but not L2"
+                    f & jetty_core::kernels::L2_SUB_VALID != 0,
+                    "inclusion violated on node {i}: {} in L1 but not L2",
+                    UnitAddr::new(u)
                 );
             }
         }

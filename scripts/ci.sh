@@ -9,9 +9,13 @@ cargo fmt --check
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
-echo "==> tier-1: cargo build --release && cargo test -q"
+echo "==> tier-1: cargo build --release && cargo test -q (JETTY_SIMD=scalar, then auto)"
 cargo build --release
-cargo test -q
+# The whole suite runs at both kernel dispatch levels: forced-scalar
+# proves the portable kernels alone, auto adds the AVX2 twins on hosts
+# that have them (and is identical to scalar elsewhere).
+JETTY_SIMD=scalar cargo test -q
+JETTY_SIMD=auto cargo test -q
 
 echo "==> cargo build --examples --benches"
 cargo build --examples --benches
@@ -22,11 +26,15 @@ cargo bench --no-run
 echo "==> cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 
-echo "==> golden output: jetty-repro all --scale 0.02 --threads 2 vs tests/golden/all_scale002.txt"
-target/release/jetty-repro all --scale 0.02 --threads 2 | diff -u tests/golden/all_scale002.txt -
+# Golden stdout must be byte-identical at every kernel dispatch level —
+# the SIMD layer is an implementation detail, never an observable one.
+for simd in scalar auto; do
+  echo "==> golden output (JETTY_SIMD=$simd): jetty-repro all --scale 0.02 --threads 2 vs tests/golden/all_scale002.txt"
+  JETTY_SIMD=$simd target/release/jetty-repro all --scale 0.02 --threads 2 | diff -u tests/golden/all_scale002.txt -
 
-echo "==> golden output: jetty-repro protocols --scale 0.02 --threads 2 vs tests/golden/protocols_scale002.txt"
-target/release/jetty-repro protocols --scale 0.02 --threads 2 | diff -u tests/golden/protocols_scale002.txt -
+  echo "==> golden output (JETTY_SIMD=$simd): jetty-repro protocols --scale 0.02 --threads 2 vs tests/golden/protocols_scale002.txt"
+  JETTY_SIMD=$simd target/release/jetty-repro protocols --scale 0.02 --threads 2 | diff -u tests/golden/protocols_scale002.txt -
+done
 
 echo "==> sweep smoke: jetty-repro sweep --scale 0.02 --threads 2"
 target/release/jetty-repro sweep --scale 0.02 --threads 2 >/dev/null
