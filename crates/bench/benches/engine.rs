@@ -25,13 +25,13 @@ fn suite_throughput(c: &mut Criterion) {
 
     group.bench_function("serial_1_thread", |b| {
         let engine = Engine::new(1);
-        b.iter(|| engine.run_suite_uncached(&options).len())
+        b.iter(|| engine.run_suite_uncached(&options).expect("bench suite cannot fail").len())
     });
 
     let threads = Engine::default_threads().max(2);
     group.bench_function(format!("parallel_{threads}_threads"), |b| {
         let engine = Engine::new(threads);
-        b.iter(|| engine.run_suite_uncached(&options).len())
+        b.iter(|| engine.run_suite_uncached(&options).expect("bench suite cannot fail").len())
     });
 
     group.finish();
@@ -45,7 +45,9 @@ fn cache_fast_path(c: &mut Criterion) {
     // Warm once; every timed iteration is a pure cache hit.
     let engine = Engine::new(Engine::default_threads());
     let _ = engine.run_suite(&options);
-    group.bench_function("cached_hit", |b| b.iter(|| engine.run_suite(&options).len()));
+    group.bench_function("cached_hit", |b| {
+        b.iter(|| engine.run_suite(&options).expect("bench suite cannot fail").len())
+    });
 
     group.finish();
 }

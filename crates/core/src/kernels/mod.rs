@@ -10,7 +10,7 @@
 //! thousands of events and the replay loop compiles as a single AVX2
 //! function. This
 //! module supplies those loops in two interchangeable implementations:
-//! a portable scalar one ([`scalar`], the reference semantics) and an
+//! a portable scalar one (`scalar`, the reference semantics) and an
 //! AVX2 one (`avx2`, `std::arch::x86_64`), selected **once per
 //! process**:
 //!
@@ -192,7 +192,10 @@ pub fn active_level() -> SimdLevel {
         let available = SimdLevel::avx2().is_some();
         let decision = resolve_simd(env.as_deref(), available);
         if let Some(v) = &decision.invalid_env {
-            eprintln!("warning: ignoring invalid JETTY_SIMD={v:?} (want auto, avx2, or scalar)");
+            eprintln!(
+                "warning: ignoring invalid JETTY_SIMD={v:?} (want auto, avx2, or scalar); \
+                 auto-detecting kernels"
+            );
         }
         if decision.forced_unavailable {
             eprintln!(

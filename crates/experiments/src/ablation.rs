@@ -18,6 +18,7 @@
 use jetty_core::FilterSpec;
 
 use crate::engine::Engine;
+use crate::error::JettyError;
 use crate::results::{Cell, TableData};
 use crate::runner::{average, AppRun, RunOptions};
 
@@ -35,10 +36,10 @@ pub fn ij_skip_options(scale: f64, check: bool) -> RunOptions {
 /// Sweeps the Include-Jetty index skip from heavy overlap to disjoint
 /// slices (IJ-8x4xS, S in {2, 4, 6, 8}; S = 8 is disjoint) and reports
 /// average coverage across the suite.
-pub fn ij_skip_ablation(engine: &Engine, scale: f64, check: bool) -> TableData {
+pub fn ij_skip_ablation(engine: &Engine, scale: f64, check: bool) -> Result<TableData, JettyError> {
     let options = ij_skip_options(scale, check);
     let specs = options.specs.clone();
-    let runs = engine.run_suite(&options);
+    let runs = engine.run_suite(&options)?;
 
     let mut t = TableData::new(
         "ablation_ij_skip",
@@ -55,12 +56,16 @@ pub fn ij_skip_ablation(engine: &Engine, scale: f64, check: bool) -> TableData {
     let mut avg = vec![Cell::label("AVG")];
     avg.extend(specs.iter().map(|s| Cell::Ratio(average(&runs, |r| r.coverage(&s.label())))));
     t.row(avg);
-    t
+    Ok(t)
 }
 
 /// EJ write traffic of one hybrid configuration over a run (the cost the
 /// eager policy pays), summed across nodes. The EJ tag store is the last
 /// array of a hybrid's array list.
+// The label always comes from the suite's own bank (`hj_policy_options`
+// builds both), so a missing report is a harness bug, not a reachable
+// failure.
+#[allow(clippy::expect_used)]
 fn ej_writes(run: &AppRun, label: &str) -> u64 {
     let report = run.report(label).expect("configuration missing from bank");
     report.activities.iter().map(|a| a.arrays.last().map_or(0, |arr| arr.writes)).sum()
@@ -77,11 +82,15 @@ pub fn hj_policy_options(scale: f64, check: bool) -> RunOptions {
 
 /// Compares the paper's backup EJ-allocation policy against the eager
 /// variant on (IJ-9x4x7, EJ-32x4).
-pub fn hj_policy_ablation(engine: &Engine, scale: f64, check: bool) -> TableData {
+pub fn hj_policy_ablation(
+    engine: &Engine,
+    scale: f64,
+    check: bool,
+) -> Result<TableData, JettyError> {
     let options = hj_policy_options(scale, check);
     let backup = options.specs[0];
     let eager = options.specs[1];
-    let runs = engine.run_suite(&options);
+    let runs = engine.run_suite(&options)?;
 
     let mut t =
         TableData::new("ablation_hj_policy", "Ablation: HJ EJ-allocation policy (backup = paper)");
@@ -102,7 +111,7 @@ pub fn hj_policy_ablation(engine: &Engine, scale: f64, check: bool) -> TableData
         Cell::Empty,
         Cell::Empty,
     ]);
-    t
+    Ok(t)
 }
 
 #[cfg(test)]
@@ -111,14 +120,14 @@ mod tests {
 
     #[test]
     fn ij_skip_ablation_runs() {
-        let t = ij_skip_ablation(&Engine::new(1), 0.002, false);
+        let t = ij_skip_ablation(&Engine::new(1), 0.002, false).unwrap();
         assert_eq!(t.len(), 11); // 10 apps + AVG
         assert!(t.render().contains("IJ-8x4x8"));
     }
 
     #[test]
     fn hj_policy_ablation_runs() {
-        let t = hj_policy_ablation(&Engine::new(1), 0.002, false);
+        let t = hj_policy_ablation(&Engine::new(1), 0.002, false).unwrap();
         assert_eq!(t.len(), 11);
         assert!(t.render().contains("eager"));
     }
@@ -126,8 +135,8 @@ mod tests {
     #[test]
     fn ablations_share_one_engine_cache() {
         let engine = Engine::new(2);
-        let a = ij_skip_ablation(&engine, 0.002, false);
-        let b = ij_skip_ablation(&engine, 0.002, false);
+        let a = ij_skip_ablation(&engine, 0.002, false).unwrap();
+        let b = ij_skip_ablation(&engine, 0.002, false).unwrap();
         assert_eq!(a.render(), b.render());
         assert_eq!(engine.stats().suites_executed, 1);
         assert_eq!(engine.stats().cache_hits, 1);
@@ -138,7 +147,7 @@ mod tests {
         assert_ne!(ij_skip_options(0.002, false), ij_skip_options(0.002, true));
         assert!(hj_policy_options(0.002, true).check);
         // A checked ablation actually runs (full invariants on).
-        let t = ij_skip_ablation(&Engine::new(2), 0.002, true);
+        let t = ij_skip_ablation(&Engine::new(2), 0.002, true).unwrap();
         assert_eq!(t.len(), 11);
     }
 }

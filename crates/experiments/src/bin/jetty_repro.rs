@@ -5,7 +5,7 @@
 //! ```text
 //! jetty-repro [COMMANDS...] [--scale X] [--cpus N] [--threads N] [--format FMT]
 //!             [--csv DIR] [--axis NAME=V1,V2] [--check] [--timings]
-//!             [--store PATH] [--timing-band PCT]
+//!             [--store PATH] [--timing-band PCT] [--deadline-ms MS] [--strict]
 //! ```
 //!
 //! One subcommand per paper exhibit; [`COMMANDS`] is the authoritative
@@ -19,15 +19,30 @@
 //! [`ResultSet`] is rendered once at the end by the `--format` renderer —
 //! aligned text (the default; byte-identical to the historical output),
 //! JSON, or CSV.
+//!
+//! Failure model: a failed suite does not abort the invocation. Every
+//! exhibit the failure feeds is skipped, the surviving exhibits render
+//! exactly as they would have, and a final `failures` table names each
+//! failed suite with its typed error. The exit code distinguishes the
+//! three outcomes: 0 (clean), 2 (partial — results rendered, but some
+//! suites failed or the store append failed), 1 (total — nothing but
+//! failures, or a usage/store-command error). See ARCHITECTURE.md
+//! ("Failure model & fault injection").
 
+// Same failure-model discipline as the library crate: user-reachable
+// paths carry typed errors instead of panicking.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use std::collections::HashSet;
 use std::env;
 use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use jetty_experiments::engine::Engine;
+use jetty_experiments::error::{exit, JettyError};
 use jetty_experiments::figures::{self, Fig6Panel};
 use jetty_experiments::results::render::Format;
 use jetty_experiments::results::{Cell, ResultSet, TableData};
@@ -69,7 +84,7 @@ fn usage() -> String {
     format!(
         "jetty-repro [COMMANDS...] [--scale X] [--cpus N] [--threads N] \
          [--format FMT] [--csv DIR] [--axis NAME=V1,V2] [--check] [--timings] \
-         [--store PATH] [--timing-band PCT]\n\
+         [--store PATH] [--timing-band PCT] [--deadline-ms MS] [--strict]\n\
          commands: {}\n\
          `all` regenerates every paper exhibit; `protocols` (the \
          MOESI/MESI/MSI sweep) and `sweep` (the declarative scenario grid) \
@@ -85,7 +100,15 @@ fn usage() -> String {
          --store appends this invocation's results to an append-only run \
          store file (and is where `runs`/`diff` read from)\n\
          --timing-band makes `diff` also fail when run B is more than PCT \
-         percent slower than run A",
+         percent slower than run A\n\
+         --deadline-ms caps each simulation job's wall-clock (env default: \
+         JETTY_DEADLINE_MS); an expired job fails its suite, it does not \
+         abort the invocation\n\
+         --strict makes `runs` exit nonzero when the store has a damaged \
+         tail (default: warn and list the intact prefix)\n\
+         exit codes: 0 = clean, 2 = partial (results rendered but some \
+         suites failed, or the store append failed), 1 = total failure or \
+         usage error",
         COMMANDS.join(" ")
     )
 }
@@ -115,6 +138,13 @@ struct Cli {
     /// `--timing-band PCT`: the allowed slowdown before `diff` fails on
     /// timing (requires `diff`; `None` disables the timing check).
     timing_band: Option<f64>,
+    /// `--deadline-ms MS`: per-job wall-clock budget. `None` = no flag;
+    /// resolved via [`Engine::default_deadline`] (the `JETTY_DEADLINE_MS`
+    /// environment variable) only when suites actually run.
+    deadline_ms: Option<u64>,
+    /// `--strict`: make `runs` treat a damaged store tail as a failure
+    /// (exit 1) instead of a stderr warning.
+    strict: bool,
 }
 
 /// Outcome of argument parsing: a run to perform, or an informational
@@ -138,6 +168,8 @@ fn parse_args() -> Result<Parsed, String> {
         store: None,
         diff_refs: Vec::new(),
         timing_band: None,
+        deadline_ms: None,
+        strict: false,
     };
     let mut args = env::args().skip(1);
     // Bare words right after `diff` are run refs, not subcommands.
@@ -202,6 +234,15 @@ fn parse_args() -> Result<Parsed, String> {
                 }
                 cli.timing_band = Some(pct);
             }
+            "--deadline-ms" => {
+                let v = args.next().ok_or("--deadline-ms needs a value")?;
+                let ms: u64 = v.parse().map_err(|_| format!("bad deadline: {v}"))?;
+                if ms < 1 {
+                    return Err("--deadline-ms must be at least 1".into());
+                }
+                cli.deadline_ms = Some(ms);
+            }
+            "--strict" => cli.strict = true,
             "--help" | "-h" => return Ok(Parsed::Help),
             cmd if !cmd.starts_with('-') => {
                 if pending_diff_refs > 0 {
@@ -248,6 +289,9 @@ fn parse_args() -> Result<Parsed, String> {
     if cli.commands.iter().any(|c| c == "runs") && cli.store.is_none() {
         return Err("runs needs --store PATH".into());
     }
+    if cli.strict && !cli.commands.iter().any(|c| c == "runs") {
+        return Err("--strict only applies to runs".into());
+    }
     Ok(Parsed::Run(cli))
 }
 
@@ -268,10 +312,14 @@ fn parse_run_ref(raw: &str, default_store: Option<&PathBuf>) -> Result<(RunStore
 }
 
 /// `jetty-repro runs`: renders a listing of the store's intact records and
-/// warns (stderr) about a damaged tail, if any.
-fn run_list(cli: &Cli) -> Result<ResultSet, String> {
-    let store = RunStore::open(cli.store.as_ref().expect("validated in parse_args"));
-    let scan = store.scan()?;
+/// warns (stderr) about a damaged tail, if any. With `--strict`, a damaged
+/// tail makes the listing "unclean" (exit 1) instead of just warning.
+fn run_list(cli: &Cli) -> Result<(ResultSet, bool), String> {
+    // `parse_args` rejects `runs` without `--store`, but the failure-model
+    // lints (rightly) refuse to take that on faith here.
+    let path = cli.store.as_ref().ok_or("runs needs --store PATH")?;
+    let store = RunStore::open(path);
+    let scan = store.scan().map_err(|e| e.to_string())?;
     if let Some(damage) = &scan.damage {
         eprintln!(
             "[store] damaged tail at byte {} of {}: {} ({} intact runs kept)",
@@ -307,7 +355,8 @@ fn run_list(cli: &Cli) -> Result<ResultSet, String> {
     }
     let mut set = ResultSet::new();
     set.push(table);
-    Ok(set)
+    let clean = !(cli.strict && scan.damage.is_some());
+    Ok((set, clean))
 }
 
 /// `jetty-repro diff A B`: compares two recorded runs; `Ok(false)` means
@@ -317,7 +366,7 @@ fn run_diff(cli: &Cli) -> Result<(ResultSet, bool), String> {
     let (store_a, ref_a) = parse_run_ref(&cli.diff_refs[0], cli.store.as_ref())?;
     let (store_b, ref_b) = parse_run_ref(&cli.diff_refs[1], cli.store.as_ref())?;
     let resolve = |store: &RunStore, rf: RunRef| -> Result<jetty_experiments::RunRecord, String> {
-        let scan = store.scan()?;
+        let scan = store.scan().map_err(|e| e.to_string())?;
         if let Some(damage) = &scan.damage {
             eprintln!(
                 "[store] damaged tail at byte {} of {}: {}",
@@ -326,7 +375,7 @@ fn run_diff(cli: &Cli) -> Result<(ResultSet, bool), String> {
                 damage.reason
             );
         }
-        store.resolve(&scan, rf).cloned()
+        store.resolve(&scan, rf).map_err(|e| e.to_string()).cloned()
     };
     let a = resolve(&store_a, ref_a)?;
     let b = resolve(&store_b, ref_b)?;
@@ -360,27 +409,29 @@ fn main() -> ExitCode {
         }
     };
 
+    // Resolve the fault plan up front (not lazily at the first injection
+    // point) so an invocation that never reaches an injection site still
+    // reports an armed or invalid JETTY_FAULT exactly once.
+    let _ = jetty_experiments::fault::active();
+
     // The store commands read recorded results instead of simulating:
     // render and exit here. `diff` exits nonzero on drift or an
-    // out-of-band timing — that exit code *is* the CI regression gate.
+    // out-of-band timing — that exit code *is* the CI regression gate —
+    // and `runs --strict` exits nonzero on a damaged store tail.
     if cli.commands.iter().any(|c| c == "runs" || c == "diff") {
-        let outcome = if cli.commands[0] == "runs" {
-            run_list(&cli).map(|set| (set, true))
-        } else {
-            run_diff(&cli)
-        };
+        let outcome = if cli.commands[0] == "runs" { run_list(&cli) } else { run_diff(&cli) };
         return match outcome {
             Ok((set, clean)) => {
                 print!("{}", cli.format.renderer().render_set(&set));
                 if clean {
-                    ExitCode::SUCCESS
+                    ExitCode::from(exit::CLEAN)
                 } else {
-                    ExitCode::FAILURE
+                    ExitCode::from(exit::TOTAL)
                 }
             }
             Err(e) => {
                 eprintln!("error: {e}");
-                ExitCode::FAILURE
+                ExitCode::from(exit::TOTAL)
             }
         };
     }
@@ -441,11 +492,16 @@ fn main() -> ExitCode {
         prefetch.extend(grid.suites(cli.check));
     }
     // Size the pool only when suites will actually run, so commands that
-    // never simulate (and explicit `--threads`) skip the env lookup.
+    // never simulate (and explicit `--threads`/`--deadline-ms`) skip the
+    // env lookups.
     let engine = if prefetch.is_empty() {
         Engine::new(1)
     } else {
-        Engine::new(cli.threads.unwrap_or_else(Engine::default_threads))
+        let deadline = match cli.deadline_ms {
+            Some(ms) => Some(Duration::from_millis(ms)),
+            None => Engine::default_deadline(),
+        };
+        Engine::new(cli.threads.unwrap_or_else(Engine::default_threads)).with_deadline(deadline)
     };
     // Per-suite wall-clock attribution (stderr only): lets perf work blame
     // time without external profilers. Printed after every batch the
@@ -467,6 +523,21 @@ fn main() -> ExitCode {
         }
     };
 
+    // Failed suites, in first-seen order, deduplicated by suite id (the
+    // engine's error memo answers repeat requests with the same error, so
+    // a suite that feeds several exhibits must still report once). Each
+    // failure also gets one stderr line at the moment it is recorded.
+    let mut failures: Vec<JettyError> = Vec::new();
+    let mut failed_seen: HashSet<String> = HashSet::new();
+    let record_failure =
+        |failures: &mut Vec<JettyError>, failed_seen: &mut HashSet<String>, e: JettyError| {
+            let key = e.suite().map(str::to_string).unwrap_or_else(|| e.to_string());
+            if failed_seen.insert(key) {
+                eprintln!("error: {e}");
+                failures.push(e);
+            }
+        };
+
     // Suite-simulation wall-clock of this invocation: what `--store`
     // records as `timing_ms` and `diff --timing-band` later compares.
     let mut suite_elapsed_ms: u64 = 0;
@@ -478,9 +549,15 @@ fn main() -> ExitCode {
         let mut seen = std::collections::HashSet::new();
         let refs: u64 = suites
             .iter()
+            .filter_map(|s| s.as_ref().ok())
             .filter(|s| seen.insert(Arc::as_ptr(s)))
             .map(|s| s.iter().map(|r| r.refs).sum::<u64>())
             .sum();
+        for outcome in suites {
+            if let Err(e) = outcome {
+                record_failure(&mut failures, &mut failed_seen, e);
+            }
+        }
         eprintln!(
             "[engine: {} suites ({} jobs, {:.1}M refs) on {} threads, {:.1}s]",
             seen.len(),
@@ -493,8 +570,20 @@ fn main() -> ExitCode {
         report_timings(&engine);
     }
 
-    let suite: Arc<Vec<AppRun>> =
-        if needs_suite { engine.run_suite(&base_options) } else { Arc::new(Vec::new()) };
+    // The base suite feeds most exhibits; when it failed, each of them is
+    // skipped (the failure is already recorded above) and the independent
+    // exhibits carry on.
+    let suite: Option<Arc<Vec<AppRun>>> = if needs_suite {
+        match engine.run_suite(&base_options) {
+            Ok(runs) => Some(runs),
+            Err(e) => {
+                record_failure(&mut failures, &mut failed_seen, e);
+                None
+            }
+        }
+    } else {
+        None
+    };
 
     // Collect typed, render late: every exhibit pushes its TableData here
     // and one renderer pass at the end produces the whole stdout (the text
@@ -511,58 +600,91 @@ fn main() -> ExitCode {
         emit(figures::fig2(64, 10));
     }
     if wants("table2") {
-        emit(tables::table2(&suite));
+        if let Some(suite) = &suite {
+            emit(tables::table2(suite));
+        }
     }
     if wants("table3") {
-        emit(tables::table3(&suite));
+        if let Some(suite) = &suite {
+            emit(tables::table3(suite));
+        }
     }
     if wants("fig4a") {
-        emit(figures::fig4a(&suite));
+        if let Some(suite) = &suite {
+            emit(figures::fig4a(suite));
+        }
     }
     if wants("fig4b") {
-        emit(figures::fig4b(&suite));
+        if let Some(suite) = &suite {
+            emit(figures::fig4b(suite));
+        }
     }
     if wants("fig5a") {
-        emit(figures::fig5a(&suite));
+        if let Some(suite) = &suite {
+            emit(figures::fig5a(suite));
+        }
     }
     if wants("fig5b") {
-        emit(figures::fig5b(&suite));
+        if let Some(suite) = &suite {
+            emit(figures::fig5b(suite));
+        }
     }
     if wants("table4") {
         emit(tables::table4());
     }
     if wants("fig6") {
-        for panel in [
-            Fig6Panel::SnoopSerial,
-            Fig6Panel::AllSerial,
-            Fig6Panel::SnoopParallel,
-            Fig6Panel::AllParallel,
-        ] {
-            emit(figures::fig6(&suite, panel));
+        if let Some(suite) = &suite {
+            for panel in [
+                Fig6Panel::SnoopSerial,
+                Fig6Panel::AllSerial,
+                Fig6Panel::SnoopParallel,
+                Fig6Panel::AllParallel,
+            ] {
+                emit(figures::fig6(suite, panel));
+            }
         }
     }
     if wants("calibrate") {
-        emit(tables::calibration(&suite));
+        if let Some(suite) = &suite {
+            emit(tables::calibration(suite));
+        }
     }
     if wants("smp8") {
-        let runs = engine.run_suite(&smp8_options);
-        emit(figures::smp8_summary(&runs));
+        match engine.run_suite(&smp8_options) {
+            Ok(runs) => emit(figures::smp8_summary(&runs)),
+            Err(e) => record_failure(&mut failures, &mut failed_seen, e),
+        }
     }
     if wants("nsb") {
-        let runs = engine.run_suite(&nsb_options);
-        emit(figures::nsb_summary(&runs));
+        match engine.run_suite(&nsb_options) {
+            Ok(runs) => emit(figures::nsb_summary(&runs)),
+            Err(e) => record_failure(&mut failures, &mut failed_seen, e),
+        }
     }
     if wants("ablation") {
-        emit(ablation::ij_skip_ablation(&engine, cli.scale, cli.check));
-        emit(ablation::hj_policy_ablation(&engine, cli.scale, cli.check));
+        match ablation::ij_skip_ablation(&engine, cli.scale, cli.check) {
+            Ok(table) => emit(table),
+            Err(e) => record_failure(&mut failures, &mut failed_seen, e),
+        }
+        match ablation::hj_policy_ablation(&engine, cli.scale, cli.check) {
+            Ok(table) => emit(table),
+            Err(e) => record_failure(&mut failures, &mut failed_seen, e),
+        }
     }
     if wants_protocols {
-        emit(protocols::protocols_table(&engine, cli.scale, cli.check));
+        match protocols::protocols_table(&engine, cli.scale, cli.check) {
+            Ok(table) => emit(table),
+            Err(e) => record_failure(&mut failures, &mut failed_seen, e),
+        }
     }
     if wants_sweep {
-        let results = sweep::sweep_results(&engine, &grid, cli.check);
-        for table in results.tables {
-            emit(table);
+        match sweep::sweep_results(&engine, &grid, cli.check) {
+            Ok(results) => {
+                for table in results.tables {
+                    emit(table);
+                }
+            }
+            Err(e) => record_failure(&mut failures, &mut failed_seen, e),
         }
         // The grid's cache economics, engine-wide: with `sweep` alone the
         // prefetch executes one simulation per suite and the render pass
@@ -577,13 +699,30 @@ fn main() -> ExitCode {
             grid.points().len(),
             grid.suites(cli.check).len(),
             stats.cache_hits,
-            stats.cache_hits + stats.suites_executed,
+            stats.cache_hits + stats.suites_executed + stats.suites_failed,
             100.0 * stats.hit_rate(),
         );
     }
     // Suites executed outside the prefetch batch (normally none — the
     // prefetch covers every command — but kept exact regardless).
     report_timings(&engine);
+
+    // Failed suites render as an ordinary table — last, so the surviving
+    // exhibits above it keep their byte-identical positions in every
+    // format (text, JSON, CSV).
+    if !failures.is_empty() {
+        let mut table =
+            TableData::new("failures", "Failed suites (the tables above are a partial result)");
+        table.headers(["suite", "kind", "error"]);
+        for e in &failures {
+            table.row([
+                Cell::label(e.suite().unwrap_or("-")),
+                Cell::label(e.kind()),
+                Cell::text_cell(e.detail()),
+            ]);
+        }
+        set.push(table);
+    }
 
     // One renderer pass for the whole invocation.
     print!("{}", cli.format.renderer().render_set(&set));
@@ -602,6 +741,7 @@ fn main() -> ExitCode {
     // the run store. `JETTY_STORE_NOW` / `JETTY_GIT_REV` /
     // `JETTY_STORE_TIMING_MS` pin the non-deterministic metadata for
     // golden tests and the committed CI reference record.
+    let mut store_failed = false;
     if let Some(path) = &cli.store {
         let timing_ms = env::var("JETTY_STORE_TIMING_MS")
             .ok()
@@ -631,10 +771,20 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("error: {e}");
-                return ExitCode::FAILURE;
+                store_failed = true;
             }
         }
     }
 
-    ExitCode::SUCCESS
+    // Three-way exit code: clean (0), partial (2 — real tables rendered,
+    // but a suite or the store append failed after them), total (1 —
+    // every exhibit this invocation asked for failed).
+    let rendered_real = set.tables.iter().any(|t| t.id != "failures");
+    if failures.is_empty() && !store_failed {
+        ExitCode::from(exit::CLEAN)
+    } else if rendered_real {
+        ExitCode::from(exit::PARTIAL)
+    } else {
+        ExitCode::from(exit::TOTAL)
+    }
 }

@@ -24,6 +24,25 @@
 //! with one thread the engine *is* the sequential path (no threads are
 //! spawned at all).
 //!
+//! # Failure model
+//!
+//! Jobs are fallible: [`Engine::run_suites`] returns one
+//! `Result<Arc<Vec<AppRun>>, JettyError>` per request, so one bad suite
+//! degrades that suite instead of the whole batch. A job can fail by
+//! injected fault ([`crate::fault`]), by blowing its deadline
+//! ([`Engine::with_deadline`], checked at chunk boundaries through a
+//! [`RunGate`]), or by panicking — panics are caught per job (in unwind
+//! builds; the release profile aborts by design) and reported through the
+//! job's result slot. When any job of a suite fails, the suite's shared
+//! cancellation flag stops its sibling jobs at their next chunk boundary:
+//! their partial results could never be used. Failed suites are never
+//! inserted into the [`SuiteCache`] — only complete suites are cached —
+//! but the *error* is memoized, so a doomed configuration is attempted
+//! once per process, not once per consumer. Lock poisoning degrades too:
+//! every engine mutex guards data that is structurally valid mid-panic
+//! (whole inserted values), so a poisoned lock is recovered, not
+//! propagated.
+//!
 //! # Caching
 //!
 //! [`RunOptions`] is the cache key (hash/eq over `cpus`, `scale` bits,
@@ -36,20 +55,36 @@
 //!
 //! [`TraceGen`]: jetty_workloads::TraceGen
 //! [`System`]: jetty_sim::System
+//! [`RunGate`]: jetty_sim::RunGate
 
 use std::collections::HashMap;
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
 
+use jetty_sim::RunGate;
 use jetty_workloads::apps;
 
-use crate::runner::{run_app_timed, AppRun, AppTiming, RunOptions};
+use crate::error::JettyError;
+use crate::runner::{run_app_gated, AppRun, AppTiming, RunOptions};
+
+/// One finished-or-failed suite, as returned by [`Engine::run_suites`].
+pub type SuiteResult = Result<Arc<Vec<AppRun>>, JettyError>;
+
+/// Locks a mutex, recovering from poisoning: every engine mutex guards
+/// data that stays structurally valid across a worker panic (values are
+/// inserted whole), so the guard's contents are safe to reuse and a
+/// poisoned lock must degrade to normal operation, not cascade the panic.
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A shared, thread-safe cache of finished suite runs, keyed by the full
-/// [`RunOptions`] (bank included).
+/// [`RunOptions`] (bank included). Only *complete* suites are ever
+/// inserted, and poisoned locks are recovered (see the module's failure
+/// model), so the cache cannot hold a partial result.
 ///
 /// # Examples
 ///
@@ -74,7 +109,7 @@ impl SuiteCache {
 
     /// Looks up a finished suite for exactly these options.
     pub fn get(&self, options: &RunOptions) -> Option<Arc<Vec<AppRun>>> {
-        self.map.lock().expect("suite cache poisoned").get(options).cloned()
+        lock_recover(&self.map).get(options).cloned()
     }
 
     /// Stores a finished suite under its options, keeping the first
@@ -82,12 +117,12 @@ impl SuiteCache {
     /// result wins and is returned, so every holder of this key ends up
     /// sharing one allocation.
     pub fn insert(&self, options: RunOptions, runs: Arc<Vec<AppRun>>) -> Arc<Vec<AppRun>> {
-        self.map.lock().expect("suite cache poisoned").entry(options).or_insert(runs).clone()
+        lock_recover(&self.map).entry(options).or_insert(runs).clone()
     }
 
     /// Number of cached suites.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("suite cache poisoned").len()
+        lock_recover(&self.map).len()
     }
 
     /// `true` when nothing is cached yet.
@@ -99,13 +134,17 @@ impl SuiteCache {
 /// Monotonic counters describing what an [`Engine`] has done so far.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct EngineStats {
-    /// Suites actually simulated (cache misses).
+    /// Suites actually simulated to completion (cache misses).
     pub suites_executed: u64,
     /// Suite requests served from the cache (or coalesced with an
-    /// identical request in the same batch).
+    /// identical request in the same batch, or answered from the
+    /// memoized error of an earlier failed attempt).
     pub cache_hits: u64,
-    /// Individual `(profile, options)` simulation jobs completed.
+    /// Individual `(profile, options)` simulation jobs attempted.
     pub jobs_executed: u64,
+    /// Suites whose execution failed (fault, deadline, or worker death);
+    /// their errors are memoized, never their partial results.
+    pub suites_failed: u64,
 }
 
 impl EngineStats {
@@ -113,7 +152,7 @@ impl EngineStats {
     /// `[0, 1]` (0 when nothing has been requested yet). The number the
     /// `jetty-repro sweep` stderr summary and the bench baseline report.
     pub fn hit_rate(&self) -> f64 {
-        let requests = self.cache_hits + self.suites_executed;
+        let requests = self.cache_hits + self.suites_executed + self.suites_failed;
         if requests == 0 {
             0.0
         } else {
@@ -128,6 +167,9 @@ struct Job {
     suite: usize,
     app: usize,
 }
+
+/// What one job deposits in its slot: its outcome plus wall-clock.
+type JobOutcome = (Result<(AppRun, AppTiming), JettyError>, Duration);
 
 /// Wall-clock attribution for one *executed* (cache-missing) suite:
 /// the summed wall-clock of its ten application jobs. Jobs of one suite
@@ -156,7 +198,7 @@ pub struct SuiteTiming {
 
 /// The worker-pool executor. Built once per process (or per benchmark
 /// iteration) with a fixed thread count; hand it [`RunOptions`] batches and
-/// it returns finished suites in request order.
+/// it returns per-suite results in request order.
 ///
 /// # Examples
 ///
@@ -169,25 +211,31 @@ pub struct SuiteTiming {
 /// let options = RunOptions::paper()
 ///     .with_scale(0.001)
 ///     .with_specs(vec![FilterSpec::exclude(8, 2)]);
-/// let suite = engine.run_suite(&options);
+/// let suite = engine.run_suite(&options).expect("fault-free run");
 /// assert_eq!(suite.len(), 10);
 /// // A second identical request is a cache hit: same allocation.
-/// assert!(std::sync::Arc::ptr_eq(&suite, &engine.run_suite(&options)));
+/// let again = engine.run_suite(&options).expect("cache hit");
+/// assert!(std::sync::Arc::ptr_eq(&suite, &again));
 /// ```
 #[derive(Debug)]
 pub struct Engine {
     threads: usize,
+    /// Per-job wall-clock budget; `None` = unbounded.
+    deadline: Option<Duration>,
     cache: SuiteCache,
+    /// Memoized errors of failed suites: one attempt per key per process.
+    failed: Mutex<HashMap<RunOptions, JettyError>>,
     suites_executed: AtomicU64,
     cache_hits: AtomicU64,
     jobs_executed: AtomicU64,
+    suites_failed: AtomicU64,
     /// Per-suite timings accumulated since the last [`Engine::take_timings`]
-    /// (executed suites only; cache hits cost nothing and record nothing).
+    /// (completed suites only; cache hits and failures record nothing).
     timings: Mutex<Vec<SuiteTiming>>,
 }
 
 impl Engine {
-    /// Builds an engine with a fixed worker count.
+    /// Builds an engine with a fixed worker count and no job deadline.
     ///
     /// # Panics
     ///
@@ -196,17 +244,30 @@ impl Engine {
         assert!(threads >= 1, "the engine needs at least one worker thread");
         Self {
             threads,
+            deadline: None,
             cache: SuiteCache::new(),
+            failed: Mutex::new(HashMap::new()),
             suites_executed: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             jobs_executed: AtomicU64::new(0),
+            suites_failed: AtomicU64::new(0),
             timings: Mutex::new(Vec::new()),
         }
     }
 
-    /// Builds an engine sized by [`Engine::default_threads`].
+    /// Builds an engine sized by [`Engine::default_threads`], with the
+    /// [`Engine::default_deadline`] job budget.
     pub fn with_default_threads() -> Self {
-        Self::new(Self::default_threads())
+        Self::new(Self::default_threads()).with_deadline(Self::default_deadline())
+    }
+
+    /// Sets the per-job wall-clock budget (`None` = unbounded). Checked
+    /// cooperatively at chunk boundaries, so expiry cancels a job within
+    /// one chunk's worth of work and surfaces as
+    /// [`JettyError::Deadline`] for its suite.
+    pub fn with_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.deadline = deadline;
+        self
     }
 
     /// The default worker count: the `JETTY_THREADS` environment variable
@@ -219,7 +280,11 @@ impl Engine {
         let available = thread::available_parallelism().ok().map(NonZeroUsize::get);
         let decision = resolve_default_threads(env.as_deref(), available);
         if let Some(v) = &decision.invalid_env {
-            eprintln!("warning: ignoring invalid JETTY_THREADS={v:?} (want a positive integer)");
+            eprintln!(
+                "warning: ignoring invalid JETTY_THREADS={v:?} (want a positive integer); \
+                 using {} worker thread(s)",
+                decision.threads
+            );
         }
         if decision.host_fallback {
             static FALLBACK_WARNING: std::sync::Once = std::sync::Once::new();
@@ -234,9 +299,30 @@ impl Engine {
         decision.threads
     }
 
+    /// The default per-job deadline: the `JETTY_DEADLINE_MS` environment
+    /// variable when set to a positive integer of milliseconds, otherwise
+    /// unbounded. A garbage value is ignored with a one-line warning
+    /// naming the bad value and the fallback chosen.
+    pub fn default_deadline() -> Option<Duration> {
+        let env = std::env::var("JETTY_DEADLINE_MS").ok();
+        let decision = resolve_deadline(env.as_deref());
+        if let Some(v) = &decision.invalid_env {
+            eprintln!(
+                "warning: ignoring invalid JETTY_DEADLINE_MS={v:?} (want a positive integer \
+                 of milliseconds); running without a job deadline"
+            );
+        }
+        decision.deadline
+    }
+
     /// The worker count this engine was built with.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The per-job deadline this engine applies, when one is set.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
     }
 
     /// The suite cache (for inspection; normal use goes through
@@ -246,10 +332,10 @@ impl Engine {
     }
 
     /// Drains the per-suite timings accumulated since the last call (the
-    /// `jetty-repro --timings` surface). Executed suites only: a request
-    /// served from the cache records no timing.
+    /// `jetty-repro --timings` surface). Completed suites only: cache
+    /// hits and failed suites record no timing.
     pub fn take_timings(&self) -> Vec<SuiteTiming> {
-        std::mem::take(&mut *self.timings.lock().expect("timing log poisoned"))
+        std::mem::take(&mut *lock_recover(&self.timings))
     }
 
     /// Counters so far.
@@ -258,16 +344,24 @@ impl Engine {
             suites_executed: self.suites_executed.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             jobs_executed: self.jobs_executed.load(Ordering::Relaxed),
+            suites_failed: self.suites_failed.load(Ordering::Relaxed),
         }
     }
 
-    /// Runs (or fetches from cache) one full ten-application suite.
-    pub fn run_suite(&self, options: &RunOptions) -> Arc<Vec<AppRun>> {
-        self.run_suites(std::slice::from_ref(options)).pop().expect("one request, one result")
+    /// The memoized error of an earlier failed attempt at these options.
+    fn failed_error(&self, options: &RunOptions) -> Option<JettyError> {
+        lock_recover(&self.failed).get(options).cloned()
     }
 
-    /// Runs a batch of suites concurrently, returning them in request
-    /// order.
+    /// Runs (or fetches from cache) one full ten-application suite.
+    pub fn run_suite(&self, options: &RunOptions) -> SuiteResult {
+        self.run_suites(std::slice::from_ref(options))
+            .pop()
+            .unwrap_or_else(|| unreachable!("run_suites returns one result per request"))
+    }
+
+    /// Runs a batch of suites concurrently, returning per-suite results in
+    /// request order.
     ///
     /// Requests already in the cache are served from it; duplicate
     /// requests within the batch are coalesced. Everything left is
@@ -276,31 +370,56 @@ impl Engine {
     /// suites of `jetty-repro all` share a single pool instead of running
     /// back to back.
     ///
+    /// A failed suite comes back as `Err` without disturbing its batch
+    /// mates; the error is memoized so later requests for the same key are
+    /// answered without re-running a doomed configuration (one attempt per
+    /// key per process — the cache itself only ever holds complete
+    /// suites).
+    ///
     /// The single-execution guarantee is per caller: if *external* threads
     /// share one engine and race identical requests, both may simulate,
     /// but the cache keeps the first finished result canonical, so every
     /// caller still receives the same `Arc` (results are deterministic
     /// either way — only work is duplicated).
-    pub fn run_suites(&self, requests: &[RunOptions]) -> Vec<Arc<Vec<AppRun>>> {
+    pub fn run_suites(&self, requests: &[RunOptions]) -> Vec<SuiteResult> {
         let mut fresh: Vec<RunOptions> = Vec::new();
         for options in requests {
-            if self.cache.get(options).is_some() || fresh.contains(options) {
+            if self.cache.get(options).is_some()
+                || self.failed_error(options).is_some()
+                || fresh.contains(options)
+            {
                 self.cache_hits.fetch_add(1, Ordering::Relaxed);
             } else {
                 fresh.push(options.clone());
             }
         }
 
-        for (options, runs) in fresh.iter().zip(self.execute(&fresh)) {
-            self.cache.insert(options.clone(), Arc::new(runs));
-            self.suites_executed.fetch_add(1, Ordering::Relaxed);
+        for (options, result) in fresh.iter().zip(self.execute(&fresh)) {
+            match result {
+                Ok(runs) => {
+                    self.cache.insert(options.clone(), Arc::new(runs));
+                    self.suites_executed.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) => {
+                    lock_recover(&self.failed).insert(options.clone(), e);
+                    self.suites_failed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
 
         // `get` after canonicalising `insert`: every caller of a key sees
         // one shared allocation, even if external threads raced us.
         requests
             .iter()
-            .map(|options| self.cache.get(options).expect("suite simulated or cached above"))
+            .map(|options| match self.cache.get(options) {
+                Some(runs) => Ok(runs),
+                None => Err(self.failed_error(options).unwrap_or_else(|| {
+                    JettyError::simulation(
+                        options.id(),
+                        "suite neither cached nor failed after execution (engine bug)",
+                    )
+                })),
+            })
             .collect()
     }
 
@@ -308,13 +427,16 @@ impl Engine {
     /// filling the cache (the engine-backed replacement for the historical
     /// sequential [`run_suite`](crate::runner::run_suite); benchmarks use
     /// it to measure real simulation work).
-    pub fn run_suite_uncached(&self, options: &RunOptions) -> Vec<AppRun> {
-        self.execute(std::slice::from_ref(options)).pop().expect("one suite, one result")
+    pub fn run_suite_uncached(&self, options: &RunOptions) -> Result<Vec<AppRun>, JettyError> {
+        self.execute(std::slice::from_ref(options))
+            .pop()
+            .unwrap_or_else(|| unreachable!("execute returns one result per suite"))
     }
 
     /// Executes the job graph for `suites`, returning each suite's runs in
-    /// application order and logging one [`SuiteTiming`] per suite.
-    fn execute(&self, suites: &[RunOptions]) -> Vec<Vec<AppRun>> {
+    /// application order (or its first meaningful error) and logging one
+    /// [`SuiteTiming`] per completed suite.
+    fn execute(&self, suites: &[RunOptions]) -> Vec<Result<Vec<AppRun>, JettyError>> {
         if suites.is_empty() {
             return Vec::new();
         }
@@ -323,77 +445,148 @@ impl Engine {
             .flat_map(|suite| (0..profiles.len()).map(move |app| Job { suite, app }))
             .collect();
 
-        let results: Vec<(AppRun, Duration, AppTiming)> = if self.threads == 1 || jobs.len() == 1 {
+        // One cancellation flag per suite: the first failing job raises
+        // its suite's flag, and sibling jobs observe it at their next
+        // chunk boundary (their partial results could never be used).
+        let cancels: Vec<Arc<AtomicBool>> =
+            suites.iter().map(|_| Arc::new(AtomicBool::new(false))).collect();
+        let run_job = |job: &Job| -> JobOutcome {
+            let started = Instant::now();
+            let options = &suites[job.suite];
+            let gate = match self.deadline {
+                Some(budget) => RunGate::with_budget(budget),
+                None => RunGate::unbounded(),
+            }
+            .with_cancel(Arc::clone(&cancels[job.suite]));
+            // Panics are contained per job in unwind builds (tests, dev);
+            // the release profile aborts on panic by design, so there a
+            // panic remains what it always was: a process-fatal bug.
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_app_gated(&profiles[job.app], options, &gate)
+            }))
+            .unwrap_or_else(|payload| {
+                Err(JettyError::simulation(
+                    options.id(),
+                    format!("worker panicked: {}", panic_message(payload.as_ref())),
+                ))
+            });
+            if result.is_err() {
+                cancels[job.suite].store(true, Ordering::Relaxed);
+            }
+            (result, started.elapsed())
+        };
+
+        let outcomes: Vec<JobOutcome> = if self.threads == 1 || jobs.len() == 1 {
             // The sequential path: same loop the pre-engine runner had,
             // on the caller's thread.
-            jobs.iter()
-                .map(|j| {
-                    let started = Instant::now();
-                    let (run, split) = run_app_timed(&profiles[j.app], &suites[j.suite]);
-                    (run, started.elapsed(), split)
-                })
-                .collect()
+            jobs.iter().map(run_job).collect()
         } else {
-            self.execute_parallel(suites, &profiles, &jobs)
+            self.execute_parallel(suites, &jobs, &run_job)
         };
         self.jobs_executed.fetch_add(jobs.len() as u64, Ordering::Relaxed);
 
-        let mut out: Vec<Vec<AppRun>> = suites.iter().map(|_| Vec::new()).collect();
+        let mut out: Vec<Result<Vec<AppRun>, JettyError>> =
+            suites.iter().map(|_| Ok(Vec::new())).collect();
         let mut elapsed: Vec<Duration> = vec![Duration::ZERO; suites.len()];
         let mut splits: Vec<AppTiming> = vec![AppTiming::default(); suites.len()];
-        for (job, (run, took, split)) in jobs.iter().zip(results) {
-            out[job.suite].push(run);
+        for (job, (outcome, took)) in jobs.iter().zip(outcomes) {
             elapsed[job.suite] += took;
-            splits[job.suite].gen += split.gen;
-            splits[job.suite].sim += split.sim;
+            match outcome {
+                Ok((run, split)) => {
+                    splits[job.suite].gen += split.gen;
+                    splits[job.suite].sim += split.sim;
+                    if let Ok(runs) = &mut out[job.suite] {
+                        runs.push(run);
+                    }
+                }
+                Err(e) => {
+                    // First meaningful error wins: a Cancelled job only
+                    // ever follows some other job's failure, so it never
+                    // displaces the root cause.
+                    let slot = &mut out[job.suite];
+                    let replace = match slot {
+                        Ok(_) => true,
+                        Err(JettyError::Cancelled { .. }) => {
+                            !matches!(e, JettyError::Cancelled { .. })
+                        }
+                        Err(_) => false,
+                    };
+                    if replace {
+                        *slot = Err(e);
+                    }
+                }
+            }
         }
         let kernel = jetty_core::kernels::active_level().name();
-        let mut log = self.timings.lock().expect("timing log poisoned");
-        for ((options, took), split) in suites.iter().zip(&elapsed).zip(&splits) {
-            log.push(SuiteTiming {
-                options: options.clone(),
-                elapsed: *took,
-                jobs: profiles.len(),
-                gen: split.gen,
-                sim: split.sim,
-                kernel,
-            });
+        let mut log = lock_recover(&self.timings);
+        for (suite, ((options, took), split)) in
+            suites.iter().zip(&elapsed).zip(&splits).enumerate()
+        {
+            if out[suite].is_ok() {
+                log.push(SuiteTiming {
+                    options: options.clone(),
+                    elapsed: *took,
+                    jobs: profiles.len(),
+                    gen: split.gen,
+                    sim: split.sim,
+                    kernel,
+                });
+            }
         }
         out
     }
 
     /// Drains `jobs` with a pool of scoped threads. Workers claim jobs
-    /// through a shared atomic cursor and deposit results (with per-job
+    /// through a shared atomic cursor and deposit outcomes (with per-job
     /// wall-clock) into the slot matching the job index, so assembly order
-    /// is independent of completion order.
+    /// is independent of completion order. A slot left empty — a worker
+    /// that died without depositing, which catch_unwind makes unreachable
+    /// in unwind builds — degrades to a per-job error, never a panic.
     fn execute_parallel(
         &self,
         suites: &[RunOptions],
-        profiles: &[jetty_workloads::AppProfile],
         jobs: &[Job],
-    ) -> Vec<(AppRun, Duration, AppTiming)> {
+        run_job: &(dyn Fn(&Job) -> JobOutcome + Sync),
+    ) -> Vec<JobOutcome> {
         let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<(AppRun, Duration, AppTiming)>>> =
-            jobs.iter().map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Mutex<Option<JobOutcome>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
         thread::scope(|scope| {
             for _ in 0..self.threads.min(jobs.len()) {
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(job) = jobs.get(i) else { break };
-                    let started = Instant::now();
-                    let (run, split) = run_app_timed(&profiles[job.app], &suites[job.suite]);
-                    *slots[i].lock().expect("result slot poisoned") =
-                        Some((run, started.elapsed(), split));
+                    *lock_recover(&slots[i]) = Some(run_job(job));
                 });
             }
         });
         slots
             .into_iter()
-            .map(|slot| {
-                slot.into_inner().expect("result slot poisoned").expect("worker filled every slot")
+            .enumerate()
+            .map(|(i, slot)| {
+                let outcome = slot.into_inner().unwrap_or_else(PoisonError::into_inner);
+                outcome.unwrap_or_else(|| {
+                    let options = &suites[jobs[i].suite];
+                    (
+                        Err(JettyError::simulation(
+                            options.id(),
+                            "worker died without depositing a result",
+                        )),
+                        Duration::ZERO,
+                    )
+                })
             })
             .collect()
     }
+}
+
+/// Best-effort text of a caught panic payload (`&str` or `String`
+/// payloads cover `panic!` in practice).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("non-string panic payload")
 }
 
 /// Outcome of the default-thread-count resolution (pure; separated from
@@ -429,6 +622,31 @@ fn resolve_default_threads(env: Option<&str>, available: Option<usize>) -> Threa
     }
 }
 
+/// Outcome of the default-deadline resolution (pure, like
+/// [`resolve_default_threads`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct DeadlineDecision {
+    /// The budget to apply; `None` = unbounded.
+    deadline: Option<Duration>,
+    /// The `JETTY_DEADLINE_MS` value, when present but not a positive
+    /// integer (warned about, then ignored).
+    invalid_env: Option<String>,
+}
+
+/// A valid `JETTY_DEADLINE_MS` (positive integer milliseconds) becomes
+/// the budget; anything else is unbounded, flagging the invalid value.
+fn resolve_deadline(env: Option<&str>) -> DeadlineDecision {
+    match env {
+        None => DeadlineDecision { deadline: None, invalid_env: None },
+        Some(v) => match v.trim().parse::<u64>() {
+            Ok(n) if n >= 1 => {
+                DeadlineDecision { deadline: Some(Duration::from_millis(n)), invalid_env: None }
+            }
+            _ => DeadlineDecision { deadline: None, invalid_env: Some(v.to_string()) },
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -444,13 +662,14 @@ mod tests {
     #[test]
     fn identical_options_run_the_suite_exactly_once() {
         let engine = Engine::new(2);
-        let first = engine.run_suite(&quick(0.002));
-        let second = engine.run_suite(&quick(0.002));
+        let first = engine.run_suite(&quick(0.002)).unwrap();
+        let second = engine.run_suite(&quick(0.002)).unwrap();
         assert!(Arc::ptr_eq(&first, &second), "second request must be served from cache");
         let stats = engine.stats();
         assert_eq!(stats.suites_executed, 1);
         assert_eq!(stats.cache_hits, 1);
         assert_eq!(stats.jobs_executed, 10);
+        assert_eq!(stats.suites_failed, 0);
         assert_eq!(engine.cache().len(), 1);
         assert_eq!(stats.hit_rate(), 0.5, "one hit out of two requests");
     }
@@ -458,8 +677,11 @@ mod tests {
     #[test]
     fn hit_rate_of_an_idle_engine_is_zero() {
         assert_eq!(EngineStats::default().hit_rate(), 0.0);
-        let all_hits = EngineStats { suites_executed: 0, cache_hits: 3, jobs_executed: 0 };
+        let all_hits = EngineStats { cache_hits: 3, ..EngineStats::default() };
         assert_eq!(all_hits.hit_rate(), 1.0);
+        let with_failures =
+            EngineStats { cache_hits: 1, suites_failed: 1, ..EngineStats::default() };
+        assert_eq!(with_failures.hit_rate(), 0.5, "failed attempts count as requests");
     }
 
     #[test]
@@ -470,6 +692,7 @@ mod tests {
         let options = quick(0.002);
         let results = engine.run_suites(&[options.clone(), options.clone(), options]);
         assert_eq!(results.len(), 3);
+        let results: Vec<_> = results.into_iter().map(Result::unwrap).collect();
         assert!(Arc::ptr_eq(&results[0], &results[1]));
         assert!(Arc::ptr_eq(&results[1], &results[2]));
         assert_eq!(engine.stats().suites_executed, 1);
@@ -500,7 +723,10 @@ mod tests {
         assert_eq!(engine.stats().suites_executed, 3, "each protocol is a distinct key");
         assert_eq!(engine.cache().len(), 3);
         // MOESI is the default: an explicit MOESI request hits the same key.
-        assert!(Arc::ptr_eq(&engine.run_suite(&quick(0.002)), &engine.run_suite(&suites[0])));
+        assert!(Arc::ptr_eq(
+            &engine.run_suite(&quick(0.002)).unwrap(),
+            &engine.run_suite(&suites[0]).unwrap()
+        ));
     }
 
     #[test]
@@ -518,8 +744,8 @@ mod tests {
     #[test]
     fn parallel_results_match_serial_in_order_and_content() {
         let options = quick(0.004);
-        let serial = Engine::new(1).run_suite(&options);
-        let parallel = Engine::new(4).run_suite(&options);
+        let serial = Engine::new(1).run_suite(&options).unwrap();
+        let parallel = Engine::new(4).run_suite(&options).unwrap();
         assert_eq!(serial.len(), parallel.len());
         for (s, p) in serial.iter().zip(parallel.iter()) {
             assert_eq!(s.profile.abbrev, p.profile.abbrev, "application order must be preserved");
@@ -538,7 +764,7 @@ mod tests {
     #[test]
     fn uncached_runs_do_not_touch_the_cache() {
         let engine = Engine::new(2);
-        let runs = engine.run_suite_uncached(&quick(0.002));
+        let runs = engine.run_suite_uncached(&quick(0.002)).unwrap();
         assert_eq!(runs.len(), 10);
         assert!(engine.cache().is_empty());
         assert_eq!(engine.stats().suites_executed, 0);
@@ -548,7 +774,7 @@ mod tests {
     #[test]
     fn more_threads_than_jobs_is_fine() {
         let engine = Engine::new(64);
-        assert_eq!(engine.run_suite(&quick(0.002)).len(), 10);
+        assert_eq!(engine.run_suite(&quick(0.002)).unwrap().len(), 10);
     }
 
     #[test]
@@ -560,6 +786,59 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(Engine::default_threads() >= 1);
+    }
+
+    #[test]
+    fn an_expired_deadline_fails_the_suite_without_touching_the_cache() {
+        for threads in [1, 3] {
+            let engine = Engine::new(threads).with_deadline(Some(Duration::ZERO));
+            let err = engine.run_suite(&quick(0.002)).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    JettyError::Deadline { budget_ms: 0, .. } | JettyError::Cancelled { .. }
+                ),
+                "threads={threads}: {err}"
+            );
+            assert!(engine.cache().is_empty(), "a failed suite must never be cached");
+            let stats = engine.stats();
+            assert_eq!(stats.suites_failed, 1);
+            assert_eq!(stats.suites_executed, 0);
+            assert!(engine.take_timings().is_empty(), "failed suites record no timing");
+        }
+    }
+
+    #[test]
+    fn a_failed_suite_is_attempted_once_then_answered_from_the_error_memo() {
+        let engine = Engine::new(2).with_deadline(Some(Duration::ZERO));
+        let first = engine.run_suite(&quick(0.002)).unwrap_err();
+        let jobs_after_first = engine.stats().jobs_executed;
+        let second = engine.run_suite(&quick(0.002)).unwrap_err();
+        assert_eq!(first.kind(), second.kind());
+        let stats = engine.stats();
+        assert_eq!(stats.jobs_executed, jobs_after_first, "no re-execution of a doomed key");
+        assert_eq!(stats.suites_failed, 1);
+        assert_eq!(stats.cache_hits, 1, "the memoized error serves the second request");
+    }
+
+    #[test]
+    fn a_failing_suite_does_not_disturb_its_batch_mates() {
+        // Same engine, one batch: a generous deadline lets the small
+        // suite finish while the zero-budget engine variant proves
+        // isolation. Here: fail one key via the memo, then batch it with
+        // a healthy key.
+        let doomed = quick(0.002);
+        let healthy = quick(0.004);
+        let strict = Engine::new(2).with_deadline(Some(Duration::ZERO));
+        assert!(strict.run_suite(&doomed).is_err());
+        // Re-request both through the same (still zero-deadline) engine:
+        // the doomed key is answered from the memo; the healthy key fails
+        // too (deadline) — so instead check batch isolation on a fresh
+        // engine where only the memoized key fails.
+        let engine = Engine::new(2);
+        let results = engine.run_suites(&[healthy.clone(), doomed.clone()]);
+        assert!(results[0].is_ok() && results[1].is_ok(), "fresh engine has no memo");
+        assert_eq!(strict.run_suites(&[doomed]).pop().unwrap().unwrap_err().kind(), "deadline");
     }
 
     #[test]
@@ -600,6 +879,21 @@ mod tests {
     }
 
     #[test]
+    fn deadline_resolution_accepts_positive_millis_and_flags_garbage() {
+        assert_eq!(resolve_deadline(None), DeadlineDecision { deadline: None, invalid_env: None });
+        assert_eq!(
+            resolve_deadline(Some("250")),
+            DeadlineDecision { deadline: Some(Duration::from_millis(250)), invalid_env: None }
+        );
+        assert_eq!(resolve_deadline(Some(" 90 ")).deadline, Some(Duration::from_millis(90)));
+        for bad in ["0", "-5", "soon", "", "1.5"] {
+            let d = resolve_deadline(Some(bad));
+            assert_eq!(d.deadline, None, "JETTY_DEADLINE_MS={bad:?}");
+            assert_eq!(d.invalid_env.as_deref(), Some(bad));
+        }
+    }
+
+    #[test]
     fn env_override_reaches_default_threads_end_to_end() {
         // Process-global env mutation: set, observe, restore. The only
         // other env-sensitive test in this binary tolerates any positive
@@ -608,5 +902,13 @@ mod tests {
         let seen = Engine::default_threads();
         std::env::remove_var("JETTY_THREADS");
         assert_eq!(seen, 5);
+    }
+
+    #[test]
+    fn env_override_reaches_default_deadline_end_to_end() {
+        std::env::set_var("JETTY_DEADLINE_MS", "1234");
+        let seen = Engine::default_deadline();
+        std::env::remove_var("JETTY_DEADLINE_MS");
+        assert_eq!(seen, Some(Duration::from_millis(1234)));
     }
 }

@@ -56,9 +56,16 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Failure-model discipline: user-reachable code paths must carry typed
+// [`error::JettyError`]s instead of panicking. The handful of survivors
+// are allow-listed at the use site with a justification — each one is a
+// genuine internal invariant, not a reachable failure.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod ablation;
 pub mod engine;
+pub mod error;
+pub mod fault;
 pub mod figures;
 pub mod protocols;
 pub mod results;
@@ -67,10 +74,13 @@ pub mod store;
 pub mod sweep;
 pub mod tables;
 
-pub use engine::{Engine, EngineStats, SuiteCache};
+pub use engine::{Engine, EngineStats, SuiteCache, SuiteResult};
+pub use error::JettyError;
 pub use results::render::{Format, Renderer};
 pub use results::{Cell, ResultSet, TableData};
-pub use runner::{average, run_app, run_app_timed, run_suite, AppRun, AppTiming, RunOptions};
+pub use runner::{
+    average, run_app, run_app_gated, run_app_timed, run_suite, AppRun, AppTiming, RunOptions,
+};
 pub use store::diff::{diff_runs, DiffOptions, DiffReport};
 pub use store::{RunInfo, RunRecord, RunRef, RunStore};
 pub use sweep::{Axis, SweepGrid};

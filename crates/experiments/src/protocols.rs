@@ -26,6 +26,7 @@ use jetty_energy::{AccessMode, ProtocolEnergy, SmpEnergyModel};
 use jetty_sim::ProtocolKind;
 
 use crate::engine::Engine;
+use crate::error::JettyError;
 use crate::results::{Cell, TableData};
 use crate::runner::{average, AppRun, RunOptions};
 
@@ -53,13 +54,13 @@ pub fn protocols_prefetch(scale: f64, check: bool) -> Vec<RunOptions> {
 
 /// Renders the per-application coverage + energy table across MOESI, MESI
 /// and MSI.
-pub fn protocols_table(engine: &Engine, scale: f64, check: bool) -> TableData {
+pub fn protocols_table(engine: &Engine, scale: f64, check: bool) -> Result<TableData, JettyError> {
     let label = swept_spec().label();
     let model = SmpEnergyModel::paper_node();
-    let suites: Vec<_> = ProtocolKind::ALL
-        .iter()
-        .map(|&p| (p, engine.run_suite(&protocol_options(scale, check, p))))
-        .collect();
+    let mut suites = Vec::with_capacity(ProtocolKind::ALL.len());
+    for &p in ProtocolKind::ALL.iter() {
+        suites.push((p, engine.run_suite(&protocol_options(scale, check, p))?));
+    }
 
     let mut t = TableData::new(
         "protocols",
@@ -78,7 +79,10 @@ pub fn protocols_table(engine: &Engine, scale: f64, check: bool) -> TableData {
     t.headers(headers);
 
     // One typed record per run: the renderer decides how the fractions and
-    // joules turn into percent and microjoules.
+    // joules turn into percent and microjoules. The swept spec is the one
+    // the suite's own options carry, so a missing report is a harness bug,
+    // not a reachable failure.
+    #[allow(clippy::expect_used)]
     let energy = |r: &AppRun| -> ProtocolEnergy {
         let report = r.report(&label).expect("swept spec missing from bank");
         model.protocol_energy(&r.run, report, AccessMode::Serial)
@@ -105,7 +109,7 @@ pub fn protocols_table(engine: &Engine, scale: f64, check: bool) -> TableData {
         avg.push(Cell::EnergyUj(average(runs, |r| energy(r).memory_writeback_uj())));
     }
     t.row(avg);
-    t
+    Ok(t)
 }
 
 #[cfg(test)]
@@ -114,7 +118,7 @@ mod tests {
 
     #[test]
     fn sweep_renders_all_protocol_columns() {
-        let t = protocols_table(&Engine::new(2), 0.002, false);
+        let t = protocols_table(&Engine::new(2), 0.002, false).unwrap();
         assert_eq!(t.len(), 11); // 10 apps + AVG
         let s = t.render();
         for name in ["MOESI cov", "MESI cov", "MSI cov", "MSI memWB"] {
@@ -132,7 +136,7 @@ mod tests {
         let executed = engine.stats().suites_executed;
         assert_eq!(executed, 3, "three distinct protocol suites");
         // Rendering afterwards must be pure cache hits.
-        let _ = protocols_table(&engine, 0.002, false);
+        let _ = protocols_table(&engine, 0.002, false).unwrap();
         assert_eq!(engine.stats().suites_executed, executed);
     }
 
@@ -142,8 +146,8 @@ mod tests {
         // MOESI suite must never pay more memory writebacks than MESI on
         // the same workload.
         let engine = Engine::new(2);
-        let moesi = engine.run_suite(&protocol_options(0.002, false, ProtocolKind::Moesi));
-        let mesi = engine.run_suite(&protocol_options(0.002, false, ProtocolKind::Mesi));
+        let moesi = engine.run_suite(&protocol_options(0.002, false, ProtocolKind::Moesi)).unwrap();
+        let mesi = engine.run_suite(&protocol_options(0.002, false, ProtocolKind::Mesi)).unwrap();
         for (m, e) in moesi.iter().zip(mesi.iter()) {
             assert_eq!(m.run.nodes.snoop_memory_writebacks, 0, "{}", m.profile.abbrev);
             assert!(

@@ -10,10 +10,12 @@
 use std::hash::{Hash, Hasher};
 
 use jetty_core::FilterSpec;
-use jetty_sim::{FilterReport, ProtocolKind, RunStats, System, SystemConfig};
+use jetty_sim::{FilterReport, GateStop, ProtocolKind, RunGate, RunStats, System, SystemConfig};
 use jetty_workloads::{AppProfile, TraceGen};
 
 use crate::engine::Engine;
+use crate::error::JettyError;
+use crate::fault;
 
 /// Options for a reproduction run.
 ///
@@ -236,6 +238,41 @@ pub fn run_app(profile: &AppProfile, options: &RunOptions) -> AppRun {
 /// separately at chunk granularity (two clock reads per ~8 K references —
 /// noise-level overhead).
 pub fn run_app_timed(profile: &AppProfile, options: &RunOptions) -> (AppRun, AppTiming) {
+    run_app_gated(profile, options, &RunGate::unbounded())
+        .unwrap_or_else(|e| panic!("unbounded fault-free run cannot fail: {e}"))
+}
+
+/// [`run_app_timed`] under a [`RunGate`] and the process fault plan: the
+/// gate (and any armed `slow-suite` fault) is applied at every chunk
+/// boundary — `System::run_chunk`'s caller — so a deadline expiry or
+/// cooperative cancellation stops the job within one chunk's worth of
+/// work. With an unbounded gate and no faults armed this *is*
+/// [`run_app_timed`]: one inert fault lookup per job and one free gate
+/// check per chunk.
+pub fn run_app_gated(
+    profile: &AppProfile,
+    options: &RunOptions,
+    gate: &RunGate,
+) -> Result<(AppRun, AppTiming), JettyError> {
+    let faults = fault::active();
+    let slow = if faults.is_active() {
+        let suite_id = options.id();
+        if faults.suite_fail(&suite_id) {
+            return Err(JettyError::simulation(suite_id, "injected fault: suite-fail"));
+        }
+        if faults.suite_panic(&suite_id) {
+            panic!("injected fault: suite-panic@{suite_id}");
+        }
+        faults.slow_suite(&suite_id)
+    } else {
+        None
+    };
+    let stop = |reason: GateStop| match reason {
+        GateStop::DeadlineExpired { budget_ms } => {
+            JettyError::Deadline { suite: options.id(), budget_ms }
+        }
+        GateStop::Cancelled => JettyError::Cancelled { suite: options.id() },
+    };
     let mut system = System::new(options.system_config(), &options.specs);
     let mut generator = TraceGen::new(profile, options.cpus, options.scale);
     let footprint = generator.footprint();
@@ -254,6 +291,10 @@ pub fn run_app_timed(profile: &AppProfile, options: &RunOptions) -> (AppRun, App
         if !more {
             break;
         }
+        if let Some(delay) = slow {
+            std::thread::sleep(delay);
+        }
+        gate.check().map_err(stop)?;
         let start = std::time::Instant::now();
         system.run_chunk(&buf);
         timing.sim += start.elapsed();
@@ -265,7 +306,7 @@ pub fn run_app_timed(profile: &AppProfile, options: &RunOptions) -> (AppRun, App
         run: system.run_stats(),
         reports: system.filter_reports(),
     };
-    (run, timing)
+    Ok((run, timing))
 }
 
 /// Runs the full ten-application suite sequentially on the calling
@@ -275,7 +316,9 @@ pub fn run_app_timed(profile: &AppProfile, options: &RunOptions) -> (AppRun, App
 /// callers that want concurrency or suite reuse should hold an engine
 /// themselves (as `jetty-repro` does).
 pub fn run_suite(options: &RunOptions) -> Vec<AppRun> {
-    Engine::new(1).run_suite_uncached(options)
+    Engine::new(1)
+        .run_suite_uncached(options)
+        .unwrap_or_else(|e| panic!("unbounded fault-free suite cannot fail: {e}"))
 }
 
 /// Weighted-equal average of a metric over a suite (the paper's "AVG"

@@ -58,7 +58,10 @@ pub mod diff;
 use std::fs::{self, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
+use crate::error::JettyError;
+use crate::fault;
 use crate::results::json::{self, Json};
 use crate::results::{Cell, ResultSet, TableData};
 
@@ -70,6 +73,14 @@ pub const RECORD_SCHEMA_VERSION: u64 = 1;
 
 /// The store header line.
 const HEADER: &[u8] = b"JETTYSTORE 1\n";
+
+/// Write attempts per [`RunStore::append`] (first try + retries). The
+/// write is idempotent — every attempt starts by truncating back to the
+/// intact prefix — so retrying a transient I/O failure is always safe.
+const APPEND_ATTEMPTS: u32 = 3;
+
+/// Backoff before the first retry (doubled per further retry).
+const APPEND_BACKOFF: Duration = Duration::from_millis(10);
 
 /// Frame magic (followed by one space).
 const FRAME_MAGIC: &[u8] = b"JREC ";
@@ -219,26 +230,37 @@ impl RunStore {
         &self.path
     }
 
+    /// A [`JettyError::Store`] bound to this store's path.
+    fn err(&self, message: impl Into<String>) -> JettyError {
+        JettyError::store(self.path.display().to_string(), message)
+    }
+
     /// Reads and validates the whole file. Damage never panics and never
     /// hides intact records: everything before the first bad frame is
     /// returned, with the damage described in [`ScanOutcome::damage`].
     /// A missing file is an empty store. Returns `Err` only for I/O
     /// failures and files that are not run stores at all (wrong or
     /// unsupported header).
-    pub fn scan(&self) -> Result<ScanOutcome, String> {
+    pub fn scan(&self) -> Result<ScanOutcome, JettyError> {
         let bytes = match fs::read(&self.path) {
             Ok(bytes) => bytes,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(ScanOutcome::default()),
-            Err(e) => return Err(format!("cannot read {}: {e}", self.path.display())),
+            Err(e) => return Err(self.err(format!("cannot read the store: {e}"))),
         };
-        scan_bytes(&bytes, &self.path)
+        scan_bytes(&bytes).map_err(|reason| self.err(reason))
     }
 
     /// Appends one record, assigning it the next sequence number, and
     /// syncs the file. If the file ends in a damaged tail (crash debris),
     /// the damaged bytes are discarded first — intact records are never
     /// touched — and the recovery is reported in the outcome.
-    pub fn append(&self, info: &RunInfo, results: &ResultSet) -> Result<AppendOutcome, String> {
+    ///
+    /// Transient write failures are retried up to `APPEND_ATTEMPTS`
+    /// times with doubling backoff; every attempt re-truncates to the
+    /// intact prefix first, so a torn partial write from a failed attempt
+    /// can never survive into the file. Exhausting the retries yields one
+    /// clean [`JettyError::Store`] — the store itself stays intact.
+    pub fn append(&self, info: &RunInfo, results: &ResultSet) -> Result<AppendOutcome, JettyError> {
         let scan = self.scan()?;
         let seq = scan.records.len() as u64 + 1;
         let record = RunRecord {
@@ -269,7 +291,7 @@ impl RunStore {
             .create(true)
             .truncate(false)
             .open(&self.path)
-            .map_err(|e| format!("cannot open {}: {e}", self.path.display()))?;
+            .map_err(|e| self.err(format!("cannot open the store: {e}")))?;
         let write = |file: &mut fs::File| -> std::io::Result<()> {
             // Discard crash debris past the intact prefix, then append the
             // header (first record only) and the new frame as one write.
@@ -281,12 +303,45 @@ impl RunStore {
             file.write_all(&frame)?;
             file.sync_data()
         };
-        write(&mut file).map_err(|e| format!("cannot append to {}: {e}", self.path.display()))?;
-        Ok(AppendOutcome { seq, recovered: scan.damage })
+        let mut backoff = APPEND_BACKOFF;
+        let mut last_error = String::new();
+        for attempt in 1..=APPEND_ATTEMPTS {
+            // The injection point sits where a real device error would
+            // surface: instead of the write, not around it, so an injected
+            // failure leaves the file exactly as a refused write would.
+            let result = if fault::active().store_write_error(seq) {
+                Err(std::io::Error::other("injected fault: store-write-err"))
+            } else {
+                write(&mut file)
+            };
+            match result {
+                Ok(()) => return Ok(AppendOutcome { seq, recovered: scan.damage }),
+                Err(e) => {
+                    last_error = e.to_string();
+                    if attempt < APPEND_ATTEMPTS {
+                        eprintln!(
+                            "[store] append of record #{seq} failed (attempt \
+                             {attempt}/{APPEND_ATTEMPTS}: {e}); retrying in {} ms",
+                            backoff.as_millis()
+                        );
+                        std::thread::sleep(backoff);
+                        backoff *= 2;
+                    }
+                }
+            }
+        }
+        Err(self.err(format!(
+            "append of record #{seq} failed after {APPEND_ATTEMPTS} attempts: {last_error} \
+             (intact records are untouched)"
+        )))
     }
 
     /// Resolves a [`RunRef`] against a scan's record list.
-    pub fn resolve<'a>(&self, scan: &'a ScanOutcome, rf: RunRef) -> Result<&'a RunRecord, String> {
+    pub fn resolve<'a>(
+        &self,
+        scan: &'a ScanOutcome,
+        rf: RunRef,
+    ) -> Result<&'a RunRecord, JettyError> {
         let found = match rf {
             RunRef::Latest => scan.records.last(),
             RunRef::Seq(n) => scan.records.iter().find(|r| r.meta.seq == n),
@@ -296,11 +351,7 @@ impl RunStore {
                 RunRef::Latest => "latest".to_owned(),
                 RunRef::Seq(n) => n.to_string(),
             };
-            format!(
-                "run {want} not found in {} ({} intact runs)",
-                self.path.display(),
-                scan.records.len()
-            )
+            self.err(format!("run {want} not found ({} intact runs)", scan.records.len()))
         })
     }
 }
@@ -309,7 +360,7 @@ impl RunStore {
 /// failure-injection tests drive directly). `Err` is reserved for files
 /// that are not run stores at all — appending would destroy them, so they
 /// are never treated as recoverable damage.
-fn scan_bytes(bytes: &[u8], path: &Path) -> Result<ScanOutcome, String> {
+fn scan_bytes(bytes: &[u8]) -> Result<ScanOutcome, String> {
     if bytes.is_empty() {
         return Ok(ScanOutcome::default());
     }
@@ -324,9 +375,8 @@ fn scan_bytes(bytes: &[u8], path: &Path) -> Result<ScanOutcome, String> {
             });
         }
         return Err(format!(
-            "{} is not a jetty run store (missing `JETTYSTORE {STORE_FORMAT_VERSION}` header, \
-             or unsupported store version)",
-            path.display()
+            "not a jetty run store (missing `JETTYSTORE {STORE_FORMAT_VERSION}` header, \
+             or unsupported store version)"
         ));
     }
 
@@ -647,8 +697,11 @@ mod tests {
         assert_eq!(store.resolve(&scan, RunRef::Latest).unwrap().meta.seq, 2);
         assert_eq!(store.resolve(&scan, RunRef::Seq(1)).unwrap().meta.seq, 1);
         let err = store.resolve(&scan, RunRef::Seq(9)).unwrap_err();
-        assert!(err.contains("run 9 not found"), "{err}");
-        assert!(err.contains("2 intact runs"), "{err}");
+        assert_eq!(err.kind(), "store");
+        let text = err.to_string();
+        assert!(text.contains("run 9 not found"), "{text}");
+        assert!(text.contains("2 intact runs"), "{text}");
+        assert!(text.contains(&path.display().to_string()), "{text}");
         let _ = fs::remove_file(&path);
     }
 
@@ -668,10 +721,11 @@ mod tests {
         fs::write(&path, b"{\"schema\": 5}\n").unwrap();
         let store = RunStore::open(&path);
         let err = store.scan().unwrap_err();
-        assert!(err.contains("not a jetty run store"), "{err}");
+        assert_eq!(err.kind(), "store");
+        assert!(err.to_string().contains("not a jetty run store"), "{err}");
         // And appending must refuse too — never destroy a foreign file.
         let append_err = store.append(&info("x"), &sample_set("x")).unwrap_err();
-        assert!(append_err.contains("not a jetty run store"), "{append_err}");
+        assert!(append_err.to_string().contains("not a jetty run store"), "{append_err}");
         assert_eq!(fs::read(&path).unwrap(), b"{\"schema\": 5}\n", "foreign file untouched");
         let _ = fs::remove_file(&path);
     }
@@ -699,7 +753,7 @@ mod tests {
         file.push(b'\n');
         file.extend_from_slice(payload.as_bytes());
         file.push(b'\n');
-        let scan = scan_bytes(&file, Path::new("future.store")).unwrap();
+        let scan = scan_bytes(&file).unwrap();
         assert!(scan.records.is_empty());
         let damage = scan.damage.expect("future schema must be reported");
         assert!(damage.reason.contains("newer than this binary"), "{}", damage.reason);

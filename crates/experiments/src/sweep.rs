@@ -25,6 +25,7 @@ use jetty_energy::{AccessMode, SmpEnergyModel};
 use jetty_sim::ProtocolKind;
 
 use crate::engine::Engine;
+use crate::error::JettyError;
 use crate::results::{Cell, ResultSet, TableData};
 use crate::runner::{average, RunOptions};
 
@@ -323,37 +324,46 @@ struct PointMetrics {
 /// Every point fetches its platform suite through the engine — after the
 /// prefetch batch these are all suite-cache hits, which is what makes a
 /// wide grid affordable and what the `[sweep]` stderr summary reports.
-pub fn sweep_results(engine: &Engine, grid: &SweepGrid, check: bool) -> ResultSet {
+/// A failed platform suite fails the whole sweep (`Err` carries the first
+/// suite error): the grid and marginal tables are cross-point comparisons,
+/// meaningless with holes.
+// A point's filter always sits in its own suite's bank (`grid.suites`
+// builds each bank from `grid.filters` directly above), so a missing
+// report is a harness bug, not a reachable failure.
+#[allow(clippy::expect_used)]
+pub fn sweep_results(
+    engine: &Engine,
+    grid: &SweepGrid,
+    check: bool,
+) -> Result<ResultSet, JettyError> {
     let suites = grid.suites(check);
     let points = grid.points();
     let model = SmpEnergyModel::paper_node();
 
-    let metrics: Vec<PointMetrics> = points
-        .iter()
-        .map(|p| {
-            let runs = engine.run_suite(&suites[p.suite]);
-            let label = p.filter.label();
-            PointMetrics {
-                storage_bytes: runs
-                    .first()
-                    .and_then(|r| r.report(&label))
-                    .map_or(0, |report| report.storage_bytes() as u64),
-                coverage: average(&runs, |r| r.coverage(&label)),
-                filter_rate: average(&runs, |r| {
-                    r.report(&label).expect("filter missing from bank").filter_rate()
-                }),
-                would_miss: average(&runs, |r| r.run.snoop_miss_fraction_of_snoops()),
-                snoop_reduction: average(&runs, |r| {
-                    let report = r.report(&label).expect("filter missing from bank");
-                    model.protocol_energy(&r.run, report, AccessMode::Serial).snoop_reduction
-                }),
-                mem_wb_uj: average(&runs, |r| {
-                    let report = r.report(&label).expect("filter missing from bank");
-                    model.protocol_energy(&r.run, report, AccessMode::Serial).memory_writeback_uj()
-                }),
-            }
-        })
-        .collect();
+    let mut metrics: Vec<PointMetrics> = Vec::with_capacity(points.len());
+    for p in &points {
+        let runs = engine.run_suite(&suites[p.suite])?;
+        let label = p.filter.label();
+        metrics.push(PointMetrics {
+            storage_bytes: runs
+                .first()
+                .and_then(|r| r.report(&label))
+                .map_or(0, |report| report.storage_bytes() as u64),
+            coverage: average(&runs, |r| r.coverage(&label)),
+            filter_rate: average(&runs, |r| {
+                r.report(&label).expect("filter missing from bank").filter_rate()
+            }),
+            would_miss: average(&runs, |r| r.run.snoop_miss_fraction_of_snoops()),
+            snoop_reduction: average(&runs, |r| {
+                let report = r.report(&label).expect("filter missing from bank");
+                model.protocol_energy(&r.run, report, AccessMode::Serial).snoop_reduction
+            }),
+            mem_wb_uj: average(&runs, |r| {
+                let report = r.report(&label).expect("filter missing from bank");
+                model.protocol_energy(&r.run, report, AccessMode::Serial).memory_writeback_uj()
+            }),
+        });
+    }
 
     let swept: Vec<String> = grid.swept_axes().iter().map(|a| a.name().to_owned()).collect();
     let axes_desc = if swept.is_empty() { "single point".to_owned() } else { swept.join(" x ") };
@@ -441,7 +451,7 @@ pub fn sweep_results(engine: &Engine, grid: &SweepGrid, check: bool) -> ResultSe
     let mut set = ResultSet::new();
     set.push(grid_table);
     set.push(axis_table);
-    set
+    Ok(set)
 }
 
 #[cfg(test)]
@@ -520,7 +530,7 @@ mod tests {
         let executed = engine.stats().suites_executed;
         assert_eq!(executed, 2);
 
-        let set = sweep_results(&engine, &grid, false);
+        let set = sweep_results(&engine, &grid, false).unwrap();
         assert_eq!(engine.stats().suites_executed, executed, "rendering must not simulate");
         assert_eq!(engine.stats().cache_hits, 4, "one hit per point");
         assert_eq!(set.tables.len(), 2);
@@ -536,7 +546,7 @@ mod tests {
         let engine = Engine::new(2);
         let mut grid = SweepGrid::single_point(0.002);
         grid.set_axis(Axis::Subblocking, "sb,nsb").unwrap();
-        let set = sweep_results(&engine, &grid, false);
+        let set = sweep_results(&engine, &grid, false).unwrap();
         for format in Format::ALL {
             let out = format.renderer().render_set(&set);
             assert!(out.contains("hj-ij10x4x7-ej32x4"), "{format:?}: {out}");
@@ -555,7 +565,7 @@ mod tests {
     fn single_point_grid_has_empty_marginals() {
         let engine = Engine::new(1);
         let grid = SweepGrid::single_point(0.002);
-        let set = sweep_results(&engine, &grid, false);
+        let set = sweep_results(&engine, &grid, false).unwrap();
         assert_eq!(set.tables[0].len(), 1);
         assert!(set.tables[1].is_empty());
         assert!(set.tables[0].title.contains("single point"));

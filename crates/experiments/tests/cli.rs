@@ -363,3 +363,116 @@ fn static_tables_run_with_explicit_threads() {
     assert!(stdout.contains("Table 1"), "table1 missing: {stdout}");
     assert!(stdout.contains("Table 4"), "table4 missing: {stdout}");
 }
+
+fn repro_with_env(env: &[(&str, &str)], args: &[&str]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_jetty-repro"));
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    cmd.args(args).output().expect("failed to spawn jetty-repro")
+}
+
+#[test]
+fn garbage_env_overrides_warn_once_and_name_the_fallback() {
+    // Each resolve-once env knob must survive garbage: one stderr warning
+    // naming the rejected value AND the fallback chosen, clean exit, and
+    // stdout identical to the unconfigured run.
+    let clean = repro(&["table2", "--scale", "0.002"]);
+    assert!(clean.status.success());
+
+    for (var, value, fallback_hint) in [
+        ("JETTY_THREADS", "banana", "worker thread(s)"),
+        ("JETTY_SIMD", "sse9", "auto-detecting kernels"),
+        ("JETTY_DEADLINE_MS", "soon", "running without a job deadline"),
+    ] {
+        let out = repro_with_env(&[(var, value)], &["table2", "--scale", "0.002"]);
+        assert!(out.status.success(), "{var}={value} must not fail the run");
+        assert_eq!(out.stdout, clean.stdout, "{var}={value} changed stdout");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        let warning: Vec<&str> =
+            stderr.lines().filter(|l| l.contains(&format!("invalid {var}"))).collect();
+        assert_eq!(warning.len(), 1, "{var}={value}: want exactly one warning, got: {stderr}");
+        assert!(warning[0].starts_with("warning: ignoring"), "{var}: {}", warning[0]);
+        assert!(warning[0].contains(&format!("{value:?}")), "{var} warning must name the value");
+        assert!(warning[0].contains(fallback_hint), "{var} warning must name the fallback");
+    }
+}
+
+#[test]
+fn explicit_flags_suppress_the_env_lookup() {
+    // An explicit --threads / --deadline-ms wins silently: the garbage env
+    // value is never even inspected.
+    let out = repro_with_env(
+        &[("JETTY_THREADS", "banana"), ("JETTY_DEADLINE_MS", "soon")],
+        &["table2", "--scale", "0.002", "--threads", "2", "--deadline-ms", "60000"],
+    );
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!stderr.contains("invalid JETTY_THREADS"), "{stderr}");
+    assert!(!stderr.contains("invalid JETTY_DEADLINE_MS"), "{stderr}");
+}
+
+#[test]
+fn deadline_flag_is_validated() {
+    for (args, needle) in [
+        (vec!["table2", "--deadline-ms", "0"], "--deadline-ms must be at least 1"),
+        (vec!["table2", "--deadline-ms", "soon"], "bad deadline"),
+        (vec!["table2", "--deadline-ms"], "--deadline-ms needs a value"),
+    ] {
+        let out = repro(&args);
+        assert!(!out.status.success(), "{args:?} must fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(needle), "{args:?}: {stderr}");
+        assert!(out.stdout.is_empty(), "{args:?}: no output before the error");
+    }
+}
+
+#[test]
+fn strict_flag_requires_the_runs_command() {
+    let out = repro(&["table1", "--strict"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--strict only applies to runs"));
+}
+
+#[test]
+fn help_documents_the_failure_surfaces() {
+    let out = repro(&["--help"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in ["--deadline-ms", "JETTY_DEADLINE_MS", "--strict", "exit codes:"] {
+        assert!(stdout.contains(needle), "help must document {needle}: {stdout}");
+    }
+}
+
+#[test]
+fn strict_runs_fails_on_a_damaged_tail() {
+    let dir = std::env::temp_dir().join(format!("jetty-strict-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = dir.join("runs.store");
+    let store_arg = store.to_str().unwrap();
+
+    let write = repro(&["table1", "--store", store_arg]);
+    assert!(write.status.success(), "stderr: {}", String::from_utf8_lossy(&write.stderr));
+
+    // Crash debris: a truncated frame after the intact record.
+    let mut bytes = std::fs::read(&store).unwrap();
+    bytes.extend_from_slice(b"JREC 000000ff");
+    std::fs::write(&store, &bytes).unwrap();
+
+    // Default: warn on stderr, list the intact prefix, exit 0.
+    let lenient = repro(&["runs", "--store", store_arg]);
+    assert!(lenient.status.success(), "damage alone must not fail a lenient listing");
+    assert!(String::from_utf8_lossy(&lenient.stderr).contains("damaged tail"));
+    assert!(String::from_utf8_lossy(&lenient.stdout).contains("table1"));
+
+    // --strict: same listing, nonzero exit.
+    let strict = repro(&["runs", "--strict", "--store", store_arg]);
+    assert_eq!(strict.status.code(), Some(1), "--strict must fail on tail damage");
+    assert_eq!(strict.stdout, lenient.stdout, "--strict must not change the listing");
+
+    // An intact store passes --strict.
+    std::fs::write(&store, &bytes[..bytes.len() - 13]).unwrap();
+    let intact = repro(&["runs", "--strict", "--store", store_arg]);
+    assert!(intact.status.success(), "intact store must pass --strict");
+    std::fs::remove_dir_all(&dir).ok();
+}

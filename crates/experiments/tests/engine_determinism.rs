@@ -12,8 +12,8 @@ const SCALE: f64 = 0.01;
 #[test]
 fn serial_and_four_thread_tables_are_byte_identical() {
     let options = RunOptions::paper().with_scale(SCALE);
-    let serial = Engine::new(1).run_suite(&options);
-    let parallel = Engine::new(4).run_suite(&options);
+    let serial = Engine::new(1).run_suite(&options).unwrap();
+    let parallel = Engine::new(4).run_suite(&options).unwrap();
 
     assert_eq!(
         tables::table2(&serial).render(),

@@ -48,6 +48,7 @@
 mod bus;
 mod config;
 pub mod fastmap;
+mod gate;
 mod l1;
 mod l2;
 mod moesi;
@@ -60,6 +61,7 @@ mod wb;
 pub use bus::{BusKind, SnoopResponse};
 pub use config::{CheckLevel, L1Config, L2Config, SystemConfig};
 pub use fastmap::FastMap;
+pub use gate::{GateStop, RunGate};
 pub use l1::{L1Cache, L1Lookup, L1Victim};
 pub use l2::{EvictedUnit, L2Cache};
 pub use moesi::Moesi;

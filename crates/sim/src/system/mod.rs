@@ -267,6 +267,34 @@ impl System {
         }
     }
 
+    /// [`System::run`] under a [`RunGate`]: the gate is consulted before
+    /// every chunk, so a deadline or cancellation stops the run within
+    /// one chunk's worth of work (`Err` carries the reason; counters
+    /// reflect exactly the chunks that completed). With an unbounded
+    /// gate this is [`System::run`] plus one free check per chunk.
+    ///
+    /// [`RunGate`]: crate::RunGate
+    pub fn run_gated<I: IntoIterator<Item = MemRef>>(
+        &mut self,
+        trace: I,
+        gate: &crate::RunGate,
+    ) -> Result<(), crate::GateStop> {
+        let mut buf = Vec::with_capacity(Self::CHUNK_LEN);
+        for r in trace {
+            buf.push(r);
+            if buf.len() == Self::CHUNK_LEN {
+                gate.check()?;
+                self.run_chunk(&buf);
+                buf.clear();
+            }
+        }
+        if !buf.is_empty() {
+            gate.check()?;
+            self.run_chunk(&buf);
+        }
+        Ok(())
+    }
+
     /// Runs one pregenerated chunk of references.
     ///
     /// The protocol path (L1/L2/writeback/bus reactions) is inherently

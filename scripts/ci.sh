@@ -54,6 +54,44 @@ done
 target/release/jetty-repro runs --store "$STORE" >/dev/null
 target/release/jetty-repro diff 1 2 --store "$STORE" >/dev/null
 
+echo "==> fault matrix: cargo test -q -p jetty-experiments --test fault_injection"
+cargo test -q -p jetty-experiments --test fault_injection
+
+echo "==> fault smoke: one injected suite failure must degrade gracefully"
+# The 8-way suite of `all` is killed by the fault harness; the invocation
+# must exit with the partial code (2), keep every surviving table
+# byte-identical to the golden file, and report the failure in a final
+# failures table. (suite-fail, not suite-panic: the release profile
+# aborts on panic, so panic containment is proven by the fault-matrix
+# test above, which spawns the unwinding test-profile binary.)
+FAULT_DIR=$(mktemp -d)
+set +e
+JETTY_FAULT=suite-fail@cpus8-scale0.02-sb-moesi-paperbank22 \
+  target/release/jetty-repro all --scale 0.02 --threads 2 >"$FAULT_DIR/partial.txt"
+FAULT_EXIT=$?
+set -e
+[ "$FAULT_EXIT" -eq 2 ] || { echo "fault smoke: want exit 2, got $FAULT_EXIT"; exit 1; }
+grep -q "== Failed suites" "$FAULT_DIR/partial.txt"
+grep -q "injected fault: suite-fail" "$FAULT_DIR/partial.txt"
+# Strip the failed 8-way block from the golden file and the failures
+# block from the partial output: the remainder must match byte for byte.
+awk '/^== /{keep = !/8-way SMP summary/} keep' tests/golden/all_scale002.txt >"$FAULT_DIR/golden-surviving.txt"
+awk '/^== /{keep = !/Failed suites/} keep' "$FAULT_DIR/partial.txt" >"$FAULT_DIR/partial-surviving.txt"
+diff -u "$FAULT_DIR/golden-surviving.txt" "$FAULT_DIR/partial-surviving.txt"
+rm -rf "$FAULT_DIR"
+
+echo "==> strict store listing: tail damage is an error under --strict"
+STRICT_DIR=$(mktemp -d)
+STRICT="$STRICT_DIR/strict.store"
+JETTY_STORE_NOW=0 JETTY_GIT_REV=reference JETTY_STORE_TIMING_MS=1000 \
+  target/release/jetty-repro table1 --store "$STRICT" >/dev/null
+target/release/jetty-repro runs --strict --store "$STRICT" >/dev/null
+printf 'JREC 000000ff' >>"$STRICT"
+if target/release/jetty-repro runs --strict --store "$STRICT" >/dev/null 2>&1; then
+  echo "runs --strict must fail on a damaged tail"; exit 1
+fi
+rm -rf "$STRICT_DIR"
+
 echo "==> cross-run regression gate: fresh run vs tests/golden/reference_scale002.store"
 # The committed reference pins timing_ms=1500 — a budget, not a
 # measurement: a fresh release scale-0.02 run takes ~700 ms on the pinned
