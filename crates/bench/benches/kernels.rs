@@ -5,11 +5,16 @@
 //! the `_scalar` series runs.
 //!
 //! * `find_key_*` — the 4-lane set-window scan against the branchless
-//!   scalar reverse scan (the EJ/VEJ way find);
+//!   scalar reverse scan (the EJ/VEJ way find). Measured through
+//!   `find_key_with`, the level-forcing entry: the public `find_key` is
+//!   pinned to the scalar scan (a standalone 4-wide lookup is too small
+//!   to amortise vector setup — this bench is the evidence), so only the
+//!   `_with` bypass can still exercise the AVX2 lane find side by side;
 //! * `ej_replay_*` — the in-place chunk replay the filters feed
 //!   (find + LRU stamp + record/victim bookkeeping per snoop);
 //! * `pbit_test_many_*` — IJ's batched packed-bitmap probe;
-//! * `snoop_probe_many_*` — the packed L2 probe over SoA tags/valid.
+//! * `snoop_probe_many_*` — the packed L2 probe over the hot-record
+//!   array (tag + valid/state meta in one `u128` per block).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use jetty_core::kernels::{self, EjGeom, SimdLevel};
@@ -65,7 +70,7 @@ fn find_key_benches(c: &mut Criterion) {
                 let mut hits = 0u64;
                 for &(base, tag) in &probes {
                     let window = &keys[base as usize..base as usize + 4];
-                    hits += u64::from(kernels::find_key(level, window, tag).is_some());
+                    hits += u64::from(kernels::find_key_with(level, window, tag).is_some());
                 }
                 hits
             })
@@ -137,13 +142,13 @@ fn snoop_probe_many_benches(c: &mut Criterion) {
     const INDEX_BITS: u32 = 14;
     let units = addresses(1 << 13);
     let blocks = 1usize << INDEX_BITS;
-    let mut tags = vec![0u64; blocks];
-    let mut valid = vec![0u64; blocks];
+    let mut hot = vec![0u128; blocks];
     for &a in units.iter().take(blocks / 2) {
         let block = a >> 1;
         let idx = (block as usize) & (blocks - 1);
-        tags[idx] = block >> INDEX_BITS;
-        valid[idx] = 1 << (a & 1);
+        let tag = block >> INDEX_BITS;
+        let meta = 1u64 << (a & 1);
+        hot[idx] = tag as u128 | ((meta as u128) << 64);
     }
     let mut group = c.benchmark_group("kernels");
     group.sample_size(20);
@@ -153,7 +158,7 @@ fn snoop_probe_many_benches(c: &mut Criterion) {
         group.bench_function(format!("snoop_probe_many_{name}"), |b| {
             b.iter(|| {
                 out.clear();
-                kernels::snoop_probe_many(level, &tags, &valid, &units, 1, INDEX_BITS, &mut out);
+                kernels::snoop_probe_many(level, &hot, &units, 1, INDEX_BITS, &mut out);
                 out.iter().filter(|&&f| f != 0).count()
             })
         });

@@ -1,0 +1,57 @@
+//! Intra-run sharding benchmarks: one application's chunk stream replayed
+//! through the system at shard counts 1, 2 and 4, so both costs of the
+//! sharded snoop replay stay pinned numbers:
+//!
+//! * `replay_shards_1` — the serial fast path. It must track the pre-shard
+//!   runner (the shards==1 branch of `flush_filter_events` replays on the
+//!   calling thread with zero spawn or merge overhead), so a regression
+//!   here means the sharding plumbing leaked into the serial path;
+//! * `replay_shards_2` / `replay_shards_4` — the scoped fan-out, spawn and
+//!   join included. On a single-core host these measure pure overhead (the
+//!   deterministic merge must still be correct, never fast); on multi-core
+//!   hosts they show the per-node replay scaling the knob buys.
+//!
+//! Results are byte-identical at every count — only wall-clock moves.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use jetty_core::FilterSpec;
+use jetty_sim::{System, SystemConfig};
+use jetty_workloads::{apps, TraceGen};
+
+fn shard_merge_benches(c: &mut Criterion) {
+    // A small paper-bank run: big enough that every chunk carries real
+    // deferred snoop work for all four nodes, small enough to iterate.
+    let config = SystemConfig::paper_4way().without_checks();
+    let specs = FilterSpec::paper_bank();
+    let scale = 0.01;
+    let profile = apps::barnes();
+    let mut generator = TraceGen::new(&profile, config.cpus, scale);
+    let mut chunks = Vec::new();
+    let mut buf = Vec::with_capacity(System::CHUNK_LEN);
+    while generator.fill_chunk(&mut buf, System::CHUNK_LEN) {
+        chunks.push(buf.clone());
+    }
+    let refs: u64 = chunks.iter().map(|chunk| chunk.len() as u64).sum();
+
+    let mut group = c.benchmark_group("shard_merge");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(refs));
+    for shards in [1usize, 2, 4] {
+        group.bench_function(format!("replay_shards_{shards}"), |b| {
+            b.iter_batched_ref(
+                || System::new(config, &specs).with_shards(shards),
+                |system| {
+                    for chunk in &chunks {
+                        system.run_chunk(chunk);
+                    }
+                    system.run_stats().nodes.snoops_seen
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, shard_merge_benches);
+criterion_main!(benches);

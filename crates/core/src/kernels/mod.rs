@@ -21,6 +21,14 @@
 //! * any other value warns and behaves like `auto` — the same
 //!   precedence shape as `JETTY_THREADS`.
 //!
+//! Dispatch is **per-kernel** within a level: an AVX2 level runs the
+//! AVX2 replay and batch-probe kernels, but the standalone
+//! [`find_key`]/[`find_tag`] entries always run the scalar loop, where
+//! the tiny set windows make the vector setup a net loss (the lane
+//! find stays inlined — and profitable — inside the AVX2 replay
+//! loops). `*_with` variants bypass the override for differential
+//! tests.
+//!
 //! The resolved choice is logged to stderr once (`[simd] …`) so stored
 //! runs can attribute timing drift to dispatch changes, and surfaces in
 //! `--timings` as a `kernel=` tag.
@@ -32,9 +40,9 @@
 //! address space (at most ~34 bits), so a sentinel can never compare
 //! equal to a probe tag: the 4×u64 `_mm256_cmpeq_epi64` sweep over a set
 //! window is alias-free without masking out empty ways. Likewise IJ's
-//! packed p-bit bitmap and the L2 SoA `tags`/`valid` arrays are plain
-//! dense arrays indexed by masked address bits, so gathers stay in
-//! bounds by construction (asserted in the safe wrappers below).
+//! packed p-bit bitmap and the L2 hot-record array are plain dense
+//! arrays indexed by masked address bits, so gathers stay in bounds by
+//! construction (asserted in the safe wrappers below).
 //!
 //! # Safety structure
 //!
@@ -65,7 +73,7 @@ use std::sync::OnceLock;
 
 use crate::filter::FilterEvent;
 
-pub use scalar::{L2_BLOCK_PRESENT, L2_SUB_VALID};
+pub use scalar::{L2_BLOCK_PRESENT, L2_META_VALID_MASK, L2_SUB_VALID};
 
 /// Capability token naming a kernel implementation.
 ///
@@ -317,13 +325,34 @@ macro_rules! dispatch {
 /// Lowest way index in an EJ set window whose key matches `tag`
 /// (`key >> 1 == tag`; the all-ones empty key never aliases a real
 /// tag). `keys` is one set's contiguous key window.
-pub fn find_key(level: SimdLevel, keys: &[u64], tag: u64) -> Option<usize> {
+///
+/// Dispatch is per-kernel: the *standalone* find always runs the scalar
+/// loop regardless of `level` — set windows are 2–4 ways, so the AVX2
+/// lane setup dominates and the vector path measures ~4x slower
+/// (BENCH schema 9: 534 vs 1965 Melem/s). The lane find stays
+/// profitable only where it is inlined inside the AVX2 replay loops,
+/// which keep it. Use [`find_key_with`] to force an implementation.
+pub fn find_key(_level: SimdLevel, keys: &[u64], tag: u64) -> Option<usize> {
+    scalar::find_key_ej(keys, tag)
+}
+
+/// [`find_key`] with the per-kernel override bypassed: runs exactly the
+/// implementation `level` names, for differential tests and benches
+/// that pin the scalar and AVX2 finds against each other.
+pub fn find_key_with(level: SimdLevel, keys: &[u64], tag: u64) -> Option<usize> {
     dispatch!(level, find_key_ej(keys, tag))
 }
 
 /// Lowest way index in a VEJ set window whose tag equals `tag` (the
-/// all-ones empty tag never aliases a real chunk tag).
-pub fn find_tag(level: SimdLevel, tags: &[u64], tag: u64) -> Option<usize> {
+/// all-ones empty tag never aliases a real chunk tag). Always the
+/// scalar loop, like [`find_key`] (same per-kernel rationale).
+pub fn find_tag(_level: SimdLevel, tags: &[u64], tag: u64) -> Option<usize> {
+    scalar::find_key_vej(tags, tag)
+}
+
+/// [`find_tag`] with the per-kernel override bypassed; see
+/// [`find_key_with`].
+pub fn find_tag_with(level: SimdLevel, tags: &[u64], tag: u64) -> Option<usize> {
     dispatch!(level, find_key_vej(tags, tag))
 }
 
@@ -486,31 +515,31 @@ pub fn pbit_test_many(
     dispatch!(level, pbit_test_many(pbits, units, index_bits, sub_arrays, skip, absent))
 }
 
-/// Batch L2 snoop probe over the SoA `tags`/`valid` arrays, appending
-/// one flag byte per unit to `out` ([`L2_BLOCK_PRESENT`] /
-/// [`L2_SUB_VALID`]). The caller reads the MOESI `states` array only
-/// for units whose subblock is valid, so tag and valid-mask loads
-/// stream instead of pointer-chasing per event.
+/// Batch L2 snoop probe over the compacted hot array (one `u128` record
+/// per set: tag in the low 64 bits, valid mask + packed state nibbles
+/// in the high 64), appending one flag byte per unit to `out`
+/// ([`L2_BLOCK_PRESENT`] / [`L2_SUB_VALID`]). One 16-byte record load
+/// answers both snoop questions, so a probe touches a single cache
+/// line instead of two separate arrays.
 ///
 /// # Panics
 ///
-/// Panics unless `sub_bits <= 6` (the valid mask is one `u64` per
-/// block), `index_bits < 48`, and both arrays hold `1 << index_bits`
-/// sets — the bounds that keep the AVX2 gathers in range.
+/// Panics unless `sub_bits <= 3` (the valid mask is the low 8 bits of
+/// the record's meta half), `index_bits < 48`, and `hot` holds
+/// `1 << index_bits` records — the bounds that keep the AVX2 gathers
+/// in range.
 pub fn snoop_probe_many(
     level: SimdLevel,
-    tags: &[u64],
-    valid: &[u64],
+    hot: &[u128],
     units: &[u64],
     sub_bits: u32,
     index_bits: u32,
     out: &mut Vec<u8>,
 ) {
-    assert!(sub_bits <= 6, "valid mask is one u64 per block");
+    assert!(sub_bits <= 3, "valid mask is eight bits of the hot record's meta half");
     assert!(index_bits < 48, "L2 index width out of range");
-    assert_eq!(tags.len(), valid.len(), "L2 tags and valid must be parallel");
-    assert!(tags.len() >= 1usize << index_bits, "L2 arrays smaller than the index space");
-    dispatch!(level, l2_probe_many(tags, valid, units, sub_bits, index_bits, out))
+    assert!(hot.len() >= 1usize << index_bits, "L2 hot array smaller than the index space");
+    dispatch!(level, l2_probe_many(hot, units, sub_bits, index_bits, out))
 }
 
 #[cfg(test)]
@@ -589,14 +618,24 @@ mod tests {
             keys[ways - 1] = 42u64 << 1;
             for tag in [0u64, 42, 77, u64::MAX >> 1] {
                 assert_eq!(
-                    find_key(SimdLevel::SCALAR, &keys, tag),
-                    find_key(avx2, &keys, tag),
+                    find_key_with(SimdLevel::SCALAR, &keys, tag),
+                    find_key_with(avx2, &keys, tag),
                     "ways={ways} tag={tag}"
                 );
                 assert_eq!(
-                    find_tag(SimdLevel::SCALAR, &keys, tag),
-                    find_tag(avx2, &keys, tag),
+                    find_tag_with(SimdLevel::SCALAR, &keys, tag),
+                    find_tag_with(avx2, &keys, tag),
                     "ways={ways} tag={tag}"
+                );
+                // The public entries ignore the level (per-kernel
+                // dispatch: standalone find is always scalar).
+                assert_eq!(
+                    find_key(avx2, &keys, tag),
+                    find_key_with(SimdLevel::SCALAR, &keys, tag),
+                );
+                assert_eq!(
+                    find_tag(avx2, &keys, tag),
+                    find_tag_with(SimdLevel::SCALAR, &keys, tag),
                 );
             }
         }
@@ -608,14 +647,20 @@ mod tests {
         pbit_test_many(SimdLevel::SCALAR, &pbits, &units, 7, 4, 11, &mut a);
         pbit_test_many(avx2, &pbits, &units, 7, 4, 11, &mut b);
         assert_eq!(a, b);
-        // L2 probe over a small populated cache image.
+        // L2 probe over a small populated cache image: tag in the low
+        // record half, valid mask in the low meta bits of the high half.
         let sets = 1usize << 5;
-        let tags: Vec<u64> = (0..sets as u64).map(|i| i * 3 % 7).collect();
-        let valid: Vec<u64> = (0..sets as u64).map(|i| if i % 3 == 0 { 0 } else { i }).collect();
+        let hot: Vec<u128> = (0..sets as u64)
+            .map(|i| {
+                let tag = i * 3 % 7;
+                let mask = if i % 3 == 0 { 0 } else { i & L2_META_VALID_MASK };
+                tag as u128 | ((mask as u128) << 64)
+            })
+            .collect();
         let units: Vec<u64> = (0..23).map(|i| i * 0x0123_4567u64 % (1 << 12)).collect();
         let (mut a, mut b) = (Vec::new(), Vec::new());
-        snoop_probe_many(SimdLevel::SCALAR, &tags, &valid, &units, 1, 5, &mut a);
-        snoop_probe_many(avx2, &tags, &valid, &units, 1, 5, &mut b);
+        snoop_probe_many(SimdLevel::SCALAR, &hot, &units, 1, 5, &mut a);
+        snoop_probe_many(avx2, &hot, &units, 1, 5, &mut b);
         assert_eq!(a, b);
     }
 }

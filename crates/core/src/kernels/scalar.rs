@@ -418,23 +418,22 @@ pub const L2_BLOCK_PRESENT: u8 = 1;
 /// See [`L2_BLOCK_PRESENT`]: the snooped subblock is valid.
 pub const L2_SUB_VALID: u8 = 2;
 
-/// One scalar L2 snoop probe over the SoA `tags`/`valid` arrays — the
-/// same split + two adjacent loads as `L2Cache::snoop_probe`, minus the
-/// state read (the caller reads `states` only for the rare present case).
+/// Low 8 bits of an L2 hot record's meta half: the packed valid bitmask
+/// (bit `sub` ⇔ subblock `sub` valid).
+pub const L2_META_VALID_MASK: u64 = 0xFF;
+
+/// One scalar L2 snoop probe over the compacted hot array — one 16-byte
+/// record load (tag in the low half, valid mask + packed states in the
+/// high half) instead of two separate array reads.
 #[inline]
-pub(super) fn l2_probe(
-    tags: &[u64],
-    valid: &[u64],
-    unit: u64,
-    sub_bits: u32,
-    index_bits: u32,
-) -> u8 {
+pub(super) fn l2_probe(hot: &[u128], unit: u64, sub_bits: u32, index_bits: u32) -> u8 {
     let sub = unit & ((1u64 << sub_bits) - 1);
     let block_addr = unit >> sub_bits;
     let idx = (block_addr & ((1u64 << index_bits) - 1)) as usize;
     let tag = block_addr >> index_bits;
-    let mask = valid[idx];
-    let block_present = mask != 0 && tags[idx] == tag;
+    let rec = hot[idx];
+    let mask = ((rec >> 64) as u64) & L2_META_VALID_MASK;
+    let block_present = mask != 0 && rec as u64 == tag;
     let mut flags = 0u8;
     if block_present {
         flags |= L2_BLOCK_PRESENT;
@@ -447,14 +446,13 @@ pub(super) fn l2_probe(
 
 /// Batch twin of [`l2_probe`] over a run of snoop unit addresses.
 pub(super) fn l2_probe_many(
-    tags: &[u64],
-    valid: &[u64],
+    hot: &[u128],
     units: &[u64],
     sub_bits: u32,
     index_bits: u32,
     out: &mut Vec<u8>,
 ) {
     for &u in units {
-        out.push(l2_probe(tags, valid, u, sub_bits, index_bits));
+        out.push(l2_probe(hot, u, sub_bits, index_bits));
     }
 }

@@ -3,9 +3,10 @@
 //! Usage:
 //!
 //! ```text
-//! jetty-repro [COMMANDS...] [--scale X] [--cpus N] [--threads N] [--format FMT]
-//!             [--csv DIR] [--axis NAME=V1,V2] [--check] [--timings]
-//!             [--store PATH] [--timing-band PCT] [--deadline-ms MS] [--strict]
+//! jetty-repro [COMMANDS...] [--scale X] [--cpus N] [--threads N] [--shards N]
+//!             [--format FMT] [--csv DIR] [--axis NAME=V1,V2] [--check]
+//!             [--timings] [--store PATH] [--timing-band PCT]
+//!             [--deadline-ms MS] [--strict]
 //! ```
 //!
 //! One subcommand per paper exhibit; [`COMMANDS`] is the authoritative
@@ -83,8 +84,9 @@ const COMMANDS: &[&str] = &[
 fn usage() -> String {
     format!(
         "jetty-repro [COMMANDS...] [--scale X] [--cpus N] [--threads N] \
-         [--format FMT] [--csv DIR] [--axis NAME=V1,V2] [--check] [--timings] \
-         [--store PATH] [--timing-band PCT] [--deadline-ms MS] [--strict]\n\
+         [--shards N] [--format FMT] [--csv DIR] [--axis NAME=V1,V2] [--check] \
+         [--timings] [--store PATH] [--timing-band PCT] [--deadline-ms MS] \
+         [--strict]\n\
          commands: {}\n\
          `all` regenerates every paper exhibit; `protocols` (the \
          MOESI/MESI/MSI sweep) and `sweep` (the declarative scenario grid) \
@@ -96,6 +98,10 @@ fn usage() -> String {
          --axis configures the sweep grid (repeatable; axes: cpus protocol \
          filter scale nsb), e.g. --axis cpus=4,8 --axis protocol=moesi,msi\n\
          --threads defaults to available parallelism (env override: JETTY_THREADS)\n\
+         --shards fans each job's per-node snoop replay out to N slices \
+         (default 1; env override: JETTY_SHARDS; capped against --threads so \
+         jobs times shards never oversubscribes the host; results are \
+         byte-identical at any count)\n\
          --timings reports per-suite wall-clock on stderr (stdout untouched)\n\
          --store appends this invocation's results to an append-only run \
          store file (and is where `runs`/`diff` read from)\n\
@@ -121,6 +127,10 @@ struct Cli {
     /// only when an engine is actually built (so an invalid `JETTY_THREADS`
     /// never warns when it is overridden or unused).
     threads: Option<usize>,
+    /// `None` = no `--shards` flag; resolved via [`Engine::default_shards`]
+    /// only when an engine is actually built (so an invalid `JETTY_SHARDS`
+    /// never warns when it is overridden or unused).
+    shards: Option<usize>,
     format: Format,
     csv_dir: Option<PathBuf>,
     /// `--axis NAME=VALUES` flags, in order (validated against the sweep
@@ -150,7 +160,7 @@ struct Cli {
 /// Outcome of argument parsing: a run to perform, or an informational
 /// request (help) that short-circuits with success.
 enum Parsed {
-    Run(Cli),
+    Run(Box<Cli>),
     Help,
 }
 
@@ -160,6 +170,7 @@ fn parse_args() -> Result<Parsed, String> {
         scale: 1.0,
         cpus: 4,
         threads: None,
+        shards: None,
         format: Format::Text,
         csv_dir: None,
         axes: Vec::new(),
@@ -201,6 +212,14 @@ fn parse_args() -> Result<Parsed, String> {
                     return Err("--threads must be at least 1".into());
                 }
                 cli.threads = Some(n);
+            }
+            "--shards" => {
+                let v = args.next().ok_or("--shards needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad shard count: {v}"))?;
+                if n < 1 {
+                    return Err("--shards must be at least 1".into());
+                }
+                cli.shards = Some(n);
             }
             "--format" => {
                 let v = args.next().ok_or("--format needs a value")?;
@@ -292,7 +311,7 @@ fn parse_args() -> Result<Parsed, String> {
     if cli.strict && !cli.commands.iter().any(|c| c == "runs") {
         return Err("--strict only applies to runs".into());
     }
-    Ok(Parsed::Run(cli))
+    Ok(Parsed::Run(Box::new(cli)))
 }
 
 /// Resolves a run ref (`N`, `latest`, or `PATH:REF`) to a store and a
@@ -398,7 +417,7 @@ const SUITE_COMMANDS: &[&str] =
 
 fn main() -> ExitCode {
     let cli = match parse_args() {
-        Ok(Parsed::Run(cli)) => cli,
+        Ok(Parsed::Run(cli)) => *cli,
         Ok(Parsed::Help) => {
             println!("{}", usage());
             return ExitCode::SUCCESS;
@@ -501,7 +520,9 @@ fn main() -> ExitCode {
             Some(ms) => Some(Duration::from_millis(ms)),
             None => Engine::default_deadline(),
         };
-        Engine::new(cli.threads.unwrap_or_else(Engine::default_threads)).with_deadline(deadline)
+        Engine::new(cli.threads.unwrap_or_else(Engine::default_threads))
+            .with_deadline(deadline)
+            .with_shards(cli.shards.unwrap_or_else(Engine::default_shards))
     };
     // Per-suite wall-clock attribution (stderr only): lets perf work blame
     // time without external profilers. Printed after every batch the
@@ -512,13 +533,15 @@ fn main() -> ExitCode {
         }
         for t in engine.take_timings() {
             eprintln!(
-                "[timing] suite {}: {:.3}s across {} jobs (gen {:.3}s, sim {:.3}s) kernel={}",
+                "[timing] suite {}: {:.3}s across {} jobs (gen {:.3}s, sim {:.3}s) \
+                 kernel={} shards={}",
                 t.options.describe(),
                 t.elapsed.as_secs_f64(),
                 t.jobs,
                 t.gen.as_secs_f64(),
                 t.sim.as_secs_f64(),
-                t.kernel
+                t.kernel,
+                t.shards
             );
         }
     };

@@ -13,20 +13,55 @@
 //! # Storage layout (hot path)
 //!
 //! The simulator probes this structure on every snoop of every bus
-//! transaction, so the storage is structure-of-arrays: one flat `tags`
-//! array, one flat `states` array and one flat `versions` array indexed by
-//! `block * subblocks + sub`, plus a per-block packed `valid` bitmask
-//! (bit `sub` set ⇔ `states[block * subblocks + sub]` is valid). A probe
-//! is then two or three adjacent loads with no per-block heap indirection,
-//! and `any_valid()`-style questions are a single `mask != 0` test. The
-//! invariant `states[u].is_valid() ⇔ mask bit set` (and `versions[u] == 0`
-//! whenever the state is Invalid) is maintained by every mutation below.
+//! transaction, so everything a snoop probe reads is packed into **one
+//! 16-byte record per block**: a flat `hot` array of `u128` whose low 64
+//! bits hold the block tag and whose high 64 bits hold the *meta* word —
+//! the packed valid bitmask in bits `0..8` (bit `sub` set ⇔ subblock
+//! `sub` valid) and one 4-bit MOESI nibble per subblock at bits
+//! `8 + 4*sub`. A snoop probe is then a single load touching a single
+//! cache line (four records per 64-byte line), answering tag match,
+//! block presence, subblock validity *and* the coherence state at once;
+//! the previous layout split tags, valid masks and states across three
+//! arrays and three cache lines. Only the checker-support data *version*
+//! stays cold, in a flat `versions` array indexed
+//! `block * subblocks + sub` — the protocol hot path never reads it on a
+//! filtered snoop. The invariants — valid bit set ⇔ the state nibble
+//! encodes a valid MOESI state, valid bit clear ⇒ nibble is 0 and
+//! `versions[u] == 0` — are maintained by every mutation below.
+//!
+//! The 8-bit valid mask bounds `subblocks` to 8 (the paper uses 2, the
+//! NSB variant 1), and the nibble field encodes only *valid* states:
+//! `Invalid` is represented by a clear valid bit, never by a nibble.
 
 use jetty_core::kernels::{self, SimdLevel};
 use jetty_core::UnitAddr;
 
 use crate::config::L2Config;
 use crate::moesi::Moesi;
+
+/// Packs a valid MOESI state into its 4-bit hot-record nibble.
+fn state_nibble(state: Moesi) -> u64 {
+    match state {
+        Moesi::Modified => 0,
+        Moesi::Owned => 1,
+        Moesi::Exclusive => 2,
+        Moesi::Shared => 3,
+        Moesi::Invalid => unreachable!("Invalid is a clear valid bit, never a nibble"),
+    }
+}
+
+/// Unpacks a hot-record state nibble (only called under a set valid bit).
+/// Valid nibbles are 0..=3, so a 2-bit mask into a const table decodes
+/// without a reachable panic path — the bounds check folds away.
+fn nibble_state(nibble: u64) -> Moesi {
+    const STATES: [Moesi; 4] = [Moesi::Modified, Moesi::Owned, Moesi::Exclusive, Moesi::Shared];
+    STATES[(nibble & 0x3) as usize]
+}
+
+/// Bit offset of subblock `sub`'s state nibble within the meta word.
+fn nibble_shift(sub: usize) -> u32 {
+    8 + 4 * sub as u32
+}
 
 /// A valid subblock displaced by a block eviction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -39,17 +74,15 @@ pub struct EvictedUnit {
     pub version: u64,
 }
 
-/// Direct-mapped subblocked L2 cache (structure-of-arrays storage; see the
-/// module docs for the layout and its invariants).
+/// Direct-mapped subblocked L2 cache (compacted hot-record storage; see
+/// the module docs for the layout and its invariants).
 #[derive(Clone, Debug)]
 pub struct L2Cache {
-    /// Per-block tag.
-    tags: Vec<u64>,
-    /// Per-block packed valid bitmask; bit `sub` ⇔ subblock valid.
-    valid: Vec<u64>,
-    /// Per-subblock coherence state, indexed `block * subblocks + sub`.
-    states: Vec<Moesi>,
-    /// Per-subblock data version (checker support), same indexing.
+    /// Per-block hot record: tag in the low 64 bits; valid bitmask and
+    /// packed state nibbles in the high 64 (the meta word).
+    hot: Vec<u128>,
+    /// Per-subblock data version (checker support), indexed
+    /// `block * subblocks + sub` — cold: never read on the probe path.
     versions: Vec<u64>,
     subblocks: usize,
     sub_mask: u64,
@@ -63,11 +96,9 @@ impl L2Cache {
     pub fn new(config: L2Config) -> Self {
         let blocks = config.blocks();
         let subblocks = config.subblocks;
-        assert!(subblocks <= 64, "valid bitmask holds at most 64 subblocks per block");
+        assert!(subblocks <= 8, "packed hot records hold at most 8 subblocks per block");
         Self {
-            tags: vec![0; blocks],
-            valid: vec![0; blocks],
-            states: vec![Moesi::Invalid; blocks * subblocks],
+            hot: vec![0; blocks],
             versions: vec![0; blocks * subblocks],
             subblocks,
             sub_mask: subblocks as u64 - 1,
@@ -77,9 +108,24 @@ impl L2Cache {
         }
     }
 
-    /// Number of blocks in the tag array.
+    /// Number of blocks in the hot array.
     fn blocks(&self) -> usize {
-        self.tags.len()
+        self.hot.len()
+    }
+
+    /// The meta word (valid mask + state nibbles) of block `idx`.
+    fn meta(&self, idx: usize) -> u64 {
+        (self.hot[idx] >> 64) as u64
+    }
+
+    /// The tag of block `idx`.
+    fn tag(&self, idx: usize) -> u64 {
+        self.hot[idx] as u64
+    }
+
+    /// Overwrites the meta word of block `idx`, leaving the tag.
+    fn set_meta(&mut self, idx: usize, meta: u64) {
+        self.hot[idx] = (self.hot[idx] & u64::MAX as u128) | ((meta as u128) << 64);
     }
 
     /// Splits a unit address into (block index, block tag, subblock index).
@@ -95,21 +141,24 @@ impl L2Cache {
         UnitAddr::new((((tag << self.index_bits) | idx as u64) << self.sub_bits) | sub as u64)
     }
 
-    /// Flat index of `(idx, sub)` into `states`/`versions`.
+    /// Flat index of `(idx, sub)` into `versions`.
     fn slot(&self, idx: usize, sub: usize) -> usize {
         (idx << self.sub_bits) | sub
     }
 
     /// `true` when `unit`'s subblock is valid under a matching tag.
     fn is_present(&self, idx: usize, tag: u64, sub: usize) -> bool {
-        self.valid[idx] & (1u64 << sub) != 0 && self.tags[idx] == tag
+        let rec = self.hot[idx];
+        ((rec >> 64) as u64) & (1u64 << sub) != 0 && rec as u64 == tag
     }
 
     /// MOESI state of `unit` (`Invalid` when absent or tag mismatch).
     pub fn state(&self, unit: UnitAddr) -> Moesi {
         let (idx, tag, sub) = self.split(unit);
-        if self.is_present(idx, tag, sub) {
-            self.states[self.slot(idx, sub)]
+        let rec = self.hot[idx];
+        let meta = (rec >> 64) as u64;
+        if meta & (1u64 << sub) != 0 && rec as u64 == tag {
+            nibble_state(meta >> nibble_shift(sub))
         } else {
             Moesi::Invalid
         }
@@ -121,20 +170,22 @@ impl L2Cache {
     /// invalid, so exclude filters must not record the whole block).
     pub fn block_present(&self, unit: UnitAddr) -> bool {
         let (idx, tag, _) = self.split(unit);
-        self.valid[idx] != 0 && self.tags[idx] == tag
+        let rec = self.hot[idx];
+        ((rec >> 64) as u64) & kernels::L2_META_VALID_MASK != 0 && rec as u64 == tag
     }
 
-    /// One-shot snoop probe: `(state, block_present)` with a single
-    /// address split and one tag/mask load pair (the bus delivers both
-    /// questions for every snoop, so this halves the per-snoop L2 work of
-    /// calling [`L2Cache::state`] and [`L2Cache::block_present`]
-    /// separately).
+    /// One-shot snoop probe: `(state, block_present)` from a single
+    /// address split and one 16-byte hot-record load (the bus delivers
+    /// both questions for every snoop, and the packed state nibble means
+    /// even the state answer costs no second array read).
     pub fn snoop_probe(&self, unit: UnitAddr) -> (Moesi, bool) {
         let (idx, tag, sub) = self.split(unit);
-        let mask = self.valid[idx];
-        let block_present = mask != 0 && self.tags[idx] == tag;
+        let rec = self.hot[idx];
+        let meta = (rec >> 64) as u64;
+        let mask = meta & kernels::L2_META_VALID_MASK;
+        let block_present = mask != 0 && rec as u64 == tag;
         let state = if block_present && mask & (1u64 << sub) != 0 {
-            self.states[self.slot(idx, sub)]
+            nibble_state(meta >> nibble_shift(sub))
         } else {
             Moesi::Invalid
         };
@@ -144,9 +195,9 @@ impl L2Cache {
     /// Batched twin of [`L2Cache::snoop_probe`] for the read-only
     /// questions: appends one flag byte per raw unit address to `out`
     /// ([`kernels::L2_BLOCK_PRESENT`] / [`kernels::L2_SUB_VALID`]), with
-    /// the tag and valid-mask loads streaming over the SoA arrays
-    /// instead of pointer-chasing per event. The caller reads the MOESI
-    /// `states` array only for units whose subblock is valid.
+    /// the 16-byte hot records streaming instead of pointer-chasing per
+    /// event. The caller reads [`L2Cache::state`] only for units whose
+    /// subblock is valid.
     pub fn snoop_probe_many(&self, units: &[u64], out: &mut Vec<u8>) {
         self.snoop_probe_many_with(kernels::active_level(), units, out);
     }
@@ -155,15 +206,7 @@ impl L2Cache {
     /// kernel level, so differential tests can pin the scalar and AVX2
     /// probe kernels against each other on the same cache image.
     pub fn snoop_probe_many_with(&self, level: SimdLevel, units: &[u64], out: &mut Vec<u8>) {
-        kernels::snoop_probe_many(
-            level,
-            &self.tags,
-            &self.valid,
-            units,
-            self.sub_bits,
-            self.index_bits,
-            out,
-        );
+        kernels::snoop_probe_many(level, &self.hot, units, self.sub_bits, self.index_bits, out);
     }
 
     /// Data version of `unit`; 0 when absent.
@@ -187,12 +230,13 @@ impl L2Cache {
     /// absent units are protocol bugs.
     pub fn set_state(&mut self, unit: UnitAddr, state: Moesi) {
         // Invalidation must go through `invalidate` — writing `Invalid`
-        // here would desynchronise the valid bitmask from the state array.
+        // here would desynchronise the valid bitmask from the nibbles.
         assert!(state.is_valid(), "set_state with Invalid (use invalidate)");
         let (idx, tag, sub) = self.split(unit);
         assert!(self.is_present(idx, tag, sub), "set_state on absent unit {unit}");
-        let slot = self.slot(idx, sub);
-        self.states[slot] = state;
+        let sh = nibble_shift(sub);
+        let meta = (self.meta(idx) & !(0xF << sh)) | (state_nibble(state) << sh);
+        self.set_meta(idx, meta);
     }
 
     /// Stamps a present unit with a new data version (store completion).
@@ -217,10 +261,12 @@ impl L2Cache {
         let (idx, tag, sub) = self.split(unit);
         assert!(self.is_present(idx, tag, sub), "invalidate on absent unit {unit}");
         let slot = self.slot(idx, sub);
-        let prior = (self.states[slot], self.versions[slot]);
-        self.states[slot] = Moesi::Invalid;
+        let meta = self.meta(idx);
+        let sh = nibble_shift(sub);
+        let prior = (nibble_state(meta >> sh), self.versions[slot]);
         self.versions[slot] = 0;
-        self.valid[idx] &= !(1u64 << sub);
+        // Clear the valid bit and zero the nibble (module invariant).
+        self.set_meta(idx, meta & !(1u64 << sub) & !(0xF << sh));
         prior
     }
 
@@ -248,28 +294,29 @@ impl L2Cache {
         assert!(state.is_valid(), "fill with Invalid state");
         evicted.clear();
         let (idx, tag, sub) = self.split(unit);
-        if self.valid[idx] != 0 && self.tags[idx] != tag {
-            let victim_tag = self.tags[idx];
-            let mut mask = self.valid[idx];
+        let meta = self.meta(idx);
+        let victim_tag = self.tag(idx);
+        if meta & kernels::L2_META_VALID_MASK != 0 && victim_tag != tag {
+            let mut mask = meta & kernels::L2_META_VALID_MASK;
             while mask != 0 {
                 let s = mask.trailing_zeros() as usize;
                 mask &= mask - 1;
                 let slot = self.slot(idx, s);
                 evicted.push(EvictedUnit {
                     unit: self.unit_addr(idx, victim_tag, s),
-                    state: self.states[slot],
+                    state: nibble_state(meta >> nibble_shift(s)),
                     version: self.versions[slot],
                 });
-                self.states[slot] = Moesi::Invalid;
                 self.versions[slot] = 0;
             }
-            self.valid[idx] = 0;
+            self.hot[idx] = 0;
         }
         assert!(!self.is_present(idx, tag, sub), "fill of already-valid unit {unit}");
         let slot = self.slot(idx, sub);
-        self.tags[idx] = tag;
-        self.valid[idx] |= 1u64 << sub;
-        self.states[slot] = state;
+        let sh = nibble_shift(sub);
+        let new_meta =
+            (self.meta(idx) & !(0xF << sh)) | (1u64 << sub) | (state_nibble(state) << sh);
+        self.hot[idx] = tag as u128 | ((new_meta as u128) << 64);
         self.versions[slot] = version;
     }
 
@@ -285,16 +332,20 @@ impl L2Cache {
     /// Iterates over all valid units with their states (checker aid).
     pub fn valid_units(&self) -> impl Iterator<Item = (UnitAddr, Moesi)> + '_ {
         (0..self.blocks()).flat_map(move |idx| {
-            let tag = self.tags[idx];
-            (0..self.subblocks)
-                .filter(move |&sub| self.valid[idx] & (1u64 << sub) != 0)
-                .map(move |sub| (self.unit_addr(idx, tag, sub), self.states[self.slot(idx, sub)]))
+            let tag = self.tag(idx);
+            let meta = self.meta(idx);
+            (0..self.subblocks).filter(move |&sub| meta & (1u64 << sub) != 0).map(move |sub| {
+                (self.unit_addr(idx, tag, sub), nibble_state(meta >> nibble_shift(sub)))
+            })
         })
     }
 
     /// Number of valid units currently cached.
     pub fn population(&self) -> usize {
-        self.valid.iter().map(|m| m.count_ones() as usize).sum()
+        self.hot
+            .iter()
+            .map(|&rec| (((rec >> 64) as u64) & kernels::L2_META_VALID_MASK).count_ones() as usize)
+            .sum()
     }
 }
 
@@ -485,6 +536,21 @@ mod tests {
         let l2 = L2Cache::new(L2Config::default());
         assert_eq!(l2.blocks(), 16384);
         assert_eq!(l2.subblocks, 2);
-        assert_eq!(l2.states.len(), 16384 * 2);
+        // One 16-byte hot record per block; versions stay per-subblock.
+        assert_eq!(l2.hot.len(), 16384);
+        assert_eq!(l2.versions.len(), 16384 * 2);
+    }
+
+    #[test]
+    fn state_nibbles_round_trip() {
+        for s in [Moesi::Modified, Moesi::Owned, Moesi::Exclusive, Moesi::Shared] {
+            assert_eq!(nibble_state(state_nibble(s)), s);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 8 subblocks")]
+    fn more_than_eight_subblocks_rejected() {
+        let _ = L2Cache::new(L2Config::new(1024, 1024, 16));
     }
 }

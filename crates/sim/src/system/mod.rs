@@ -168,6 +168,14 @@ pub struct System {
     /// public [`System::access`]/[`System::apply`] entry points run
     /// directly, so single-access callers observe filter state immediately.
     batching: bool,
+    /// Worker shards for the end-of-chunk filter replay: nodes are
+    /// partitioned into this many contiguous slices and each slice's
+    /// event logs replay on its own scoped thread. Purely a performance
+    /// knob — the logs are recorded in global bus order by the serial
+    /// protocol pass and each node's replay is independent, so results
+    /// are byte-identical at any shard count. 1 (the default) keeps the
+    /// exact serial flush loop.
+    shards: usize,
 }
 
 // Compile-time audit that a whole simulated system can move across
@@ -208,7 +216,23 @@ impl System {
             latest_versions: FastMap::new(),
             evict_scratch: Vec::new(),
             batching: false,
+            shards: 1,
         }
+    }
+
+    /// Sets the intra-run shard count for the end-of-chunk filter
+    /// replay (see the `shards` field). Values are clamped to at least
+    /// 1; counts beyond the node count are clamped at flush time.
+    /// Sharding never changes results, only how many threads replay
+    /// the per-node event logs.
+    pub fn set_shards(&mut self, shards: usize) {
+        self.shards = shards.max(1);
+    }
+
+    /// Builder twin of [`System::set_shards`].
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.set_shards(shards);
+        self
     }
 
     /// The system configuration.
@@ -284,13 +308,13 @@ impl System {
             buf.push(r);
             if buf.len() == Self::CHUNK_LEN {
                 gate.check()?;
-                self.run_chunk(&buf);
+                self.run_chunk_gated(&buf, gate)?;
                 buf.clear();
             }
         }
         if !buf.is_empty() {
             gate.check()?;
-            self.run_chunk(&buf);
+            self.run_chunk_gated(&buf, gate)?;
         }
         Ok(())
     }
@@ -317,34 +341,99 @@ impl System {
     ///
     /// [`CheckLevel::Full`]: crate::CheckLevel::Full
     pub fn run_chunk(&mut self, chunk: &[MemRef]) {
+        self.run_chunk_gated(chunk, &crate::RunGate::unbounded())
+            .unwrap_or_else(|stop| unreachable!("unbounded gate cannot stop a chunk: {stop:?}"));
+    }
+
+    /// [`System::run_chunk`] under a [`RunGate`]: the serial protocol
+    /// pass runs to completion (it is what establishes bus order), and
+    /// each shard worker of the end-of-chunk filter replay checks the
+    /// gate once per node, so a deadline or cancellation stops a
+    /// sharded run at the chunk boundary instead of waiting out the
+    /// whole flush. On `Err` the remaining nodes' event logs are left
+    /// unreplayed — the run is being abandoned, and the partial filter
+    /// state is never reported.
+    ///
+    /// [`RunGate`]: crate::RunGate
+    pub fn run_chunk_gated(
+        &mut self,
+        chunk: &[MemRef],
+        gate: &crate::RunGate,
+    ) -> Result<(), crate::GateStop> {
         if self.config.check.is_full() || self.specs.is_empty() {
             for &r in chunk {
                 self.apply(r);
             }
-            return;
+            return Ok(());
         }
         self.batching = true;
         for &r in chunk {
             self.apply(r);
         }
         self.batching = false;
-        self.flush_filter_events();
+        self.flush_filter_events(gate)
     }
 
     /// Replays every node's deferred filter events through its bank,
     /// filter-major: the `AnyFilter` variant dispatch is hoisted outside
     /// the event loop and each filter's probe/filtered counters are
     /// accumulated in registers and charged once per batch.
-    fn flush_filter_events(&mut self) {
-        for (i, node) in self.nodes.iter_mut().enumerate() {
-            if node.events.is_empty() {
-                continue;
+    ///
+    /// With `shards > 1` the nodes are partitioned into contiguous
+    /// slices and each slice replays on its own scoped worker thread
+    /// (shard 0 runs inline on the calling thread). This is safe and
+    /// deterministic by construction: the serial protocol pass already
+    /// recorded every node's events in global bus order, each node's
+    /// filter bank touches only that node's state, and the reporting
+    /// paths ([`System::run_stats`], [`System::filter_reports`])
+    /// aggregate in node-index order — so the merge back to global
+    /// results is the same at any shard count, byte for byte.
+    fn flush_filter_events(&mut self, gate: &crate::RunGate) -> Result<(), crate::GateStop> {
+        fn replay_slice(
+            nodes: &mut [Node],
+            base: usize,
+            gate: &crate::RunGate,
+        ) -> Result<(), crate::GateStop> {
+            for (off, node) in nodes.iter_mut().enumerate() {
+                gate.check()?;
+                if node.events.is_empty() {
+                    continue;
+                }
+                for f in &mut node.filters {
+                    f.apply_batch(&node.events, base + off);
+                }
+                node.events.clear();
             }
-            for f in &mut node.filters {
-                f.apply_batch(&node.events, i);
-            }
-            node.events.clear();
+            Ok(())
         }
+
+        let shards = self.shards.min(self.nodes.len()).max(1);
+        if shards == 1 {
+            // The exact serial loop — no scope setup, and with an
+            // unbounded gate the per-node check is a single branch.
+            return replay_slice(&mut self.nodes, 0, gate);
+        }
+        let per_shard = self.nodes.len().div_ceil(shards);
+        let mut results: Vec<Result<(), crate::GateStop>> = Vec::with_capacity(shards);
+        std::thread::scope(|scope| {
+            let mut slices = self.nodes.chunks_mut(per_shard);
+            let first = slices.next().expect("at least one shard slice");
+            let handles: Vec<_> = slices
+                .enumerate()
+                .map(|(s, slice)| {
+                    let base = (s + 1) * per_shard;
+                    scope.spawn(move || replay_slice(slice, base, gate))
+                })
+                .collect();
+            results.push(replay_slice(first, 0, gate));
+            for h in handles {
+                results.push(h.join().expect("shard replay worker panicked"));
+            }
+        });
+        // Deterministic merge of stop reasons: the lowest shard index
+        // wins, so a simultaneous deadline/cancel race cannot flip the
+        // reported error between runs of the same shard count.
+        results.into_iter().collect()
     }
 
     /// Performs one CPU access.
